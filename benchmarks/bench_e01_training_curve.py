@@ -1,0 +1,21 @@
+"""E1 (figure): PPO training curve — return rises, miss rate falls.
+
+Paper artifact: the training-convergence figure every DRL-scheduler paper
+opens its evaluation with. Expected shape: episode return improves over
+iterations and the evaluated deadline-miss rate trends down.
+"""
+
+import numpy as np
+
+from repro.harness import experiments as E
+
+
+def test_e01_training_curve(once):
+    out = once(E.e01_training_curve, iterations=40, eval_every=10,
+               n_eval_traces=2)
+    print("\n" + out.text)
+    returns = out.series["return"]
+    # Shape: the best later-half return beats the first checkpoint.
+    assert max(returns[len(returns) // 2:]) >= returns[0]
+    # Miss rate at the best checkpoint is meaningfully below 1.
+    assert min(out.series["miss_rate"]) < 0.6

@@ -1,0 +1,21 @@
+"""E2 (table): the main comparison — DRL vs the full heuristic roster.
+
+Expected shape (the paper's headline): the trained DRL manager achieves
+the lowest deadline-miss rate, ahead of deadline-aware heuristics
+(EDF/LLF/SJF), with packing (Tetris) next and FIFO/Random worst.
+"""
+
+from repro.harness import experiments as E
+
+
+def test_e02_main_table(once):
+    out = once(E.e02_main_table, train_iterations=60, n_traces=4, load=0.7)
+    print("\n" + out.text)
+    by_name = {r["scheduler"]: r for r in out.rows}
+    drl = by_name["drl"]["miss_rate"]
+    best_heuristic = min(r["miss_rate"] for n, r in by_name.items() if n != "drl")
+    # DRL at or below the best heuristic (small tolerance for trace noise).
+    assert drl <= best_heuristic + 0.02
+    # Deadline-aware heuristics beat FIFO and Random.
+    assert by_name["edf"]["miss_rate"] <= by_name["random"]["miss_rate"]
+    assert by_name["llf"]["miss_rate"] <= by_name["fifo"]["miss_rate"] + 0.02

@@ -1,0 +1,20 @@
+"""E3 (figure): deadline-miss rate vs offered load.
+
+Expected shape: all schedulers' miss rates rise with load; the
+deadline-aware policies stay below FIFO across the sweep, and the gap
+widens at high load.
+"""
+
+import numpy as np
+
+from repro.harness import experiments as E
+
+
+def test_e03_load_sweep(once):
+    out = once(E.e03_load_sweep, loads=(0.4, 0.7, 1.0, 1.3), n_traces=3)
+    print("\n" + out.text)
+    for name, series in out.series.items():
+        # Rising trend: last point above first for every scheduler.
+        assert series[-1] >= series[0] - 0.05, f"{name} did not rise with load"
+    # EDF at or below FIFO at the heaviest load.
+    assert out.series["edf"][-1] <= out.series["fifo"][-1] + 0.05

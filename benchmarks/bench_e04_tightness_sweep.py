@@ -1,0 +1,18 @@
+"""E4 (figure): deadline-miss rate vs deadline tightness.
+
+Expected shape: looser deadlines (larger tightness multiplier) reduce
+miss rates for every scheduler; deadline-aware policies dominate at
+tight deadlines where ordering matters most.
+"""
+
+from repro.harness import experiments as E
+
+
+def test_e04_tightness_sweep(once):
+    out = once(E.e04_tightness_sweep, scales=(0.7, 1.0, 1.5, 2.5),
+               load=0.8, n_traces=3)
+    print("\n" + out.text)
+    for name, series in out.series.items():
+        assert series[-1] <= series[0] + 0.05, f"{name} did not ease with looser deadlines"
+    # At the tightest setting EDF beats FIFO (ordering matters most there).
+    assert out.series["edf"][0] <= out.series["fifo"][0] + 0.05

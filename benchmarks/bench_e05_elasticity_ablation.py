@@ -1,0 +1,23 @@
+"""E5 (table): the elasticity ablation — the paper's defining claim.
+
+Expected shape: managers allowed to grow/shrink running jobs (DRL with
+elastic actions, the greedy-elastic heuristic) beat their rigid
+counterparts (DRL without grow/shrink, EDF admitting at job minimum) on
+deadline-miss rate, and the gap grows with load.
+"""
+
+from repro.harness import experiments as E
+
+
+def test_e05_elasticity_ablation(once):
+    out = once(E.e05_elasticity_ablation, loads=(0.6, 0.9),
+               train_iterations=40, n_traces=3)
+    print("\n" + out.text)
+    for load in (0.6, 0.9):
+        rows = {r["variant"]: r for r in out.rows if r["load"] == load}
+        # Elastic DRL at or below rigid DRL.
+        assert rows["drl-elastic"]["miss_rate"] <= \
+            rows["drl-rigid"]["miss_rate"] + 0.05
+        # Adaptive allocation beats never-adapting minimum allocation.
+        assert rows["greedy-elastic"]["miss_rate"] <= \
+            rows["edf-rigid(min)"]["miss_rate"] + 0.05

@@ -1,0 +1,19 @@
+"""E6 (table): heterogeneity awareness.
+
+Expected shape: affinity-aware placement (jobs routed to the platform
+where they run fastest) achieves lower miss rate and slowdown than
+heterogeneity-blind placement of the same scheduler.
+"""
+
+from repro.harness import experiments as E
+
+
+def test_e06_heterogeneity(once):
+    out = once(E.e06_heterogeneity, load=0.7, n_traces=4)
+    print("\n" + out.text)
+    edf_aware = out.metric_by("scheduler", "edf-aware", "miss_rate")
+    edf_blind = out.metric_by("scheduler", "edf-blind", "miss_rate")
+    assert edf_aware <= edf_blind + 0.02
+    ge_aware = out.metric_by("scheduler", "greedy-elastic-aware", "mean_slowdown")
+    ge_blind = out.metric_by("scheduler", "greedy-elastic-blind", "mean_slowdown")
+    assert ge_aware <= ge_blind + 0.25

@@ -1,0 +1,20 @@
+"""E7 (figure): cluster-utilization timeline at high load.
+
+Expected shape: the elastic manager sustains utilization at least
+comparable to EDF (elastic grow soaks up idle units) while the summary
+table shows its deadline outcomes are no worse.
+"""
+
+import numpy as np
+
+from repro.harness import experiments as E
+
+
+def test_e07_utilization_timeline(once):
+    out = once(E.e07_utilization_timeline, load=0.9)
+    print("\n" + out.text)
+    mean_util = {r["scheduler"]: r["mean_utilization"] for r in out.rows}
+    # The elastic policy keeps the cluster at least as busy as EDF.
+    assert mean_util["greedy-elastic"] >= mean_util["edf"] - 0.05
+    # Both reach meaningful utilization at load 0.9.
+    assert mean_util["edf"] > 0.3

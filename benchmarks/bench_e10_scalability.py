@@ -1,0 +1,20 @@
+"""E10 (table): decision latency and simulator throughput vs cluster size.
+
+Expected shape: per-decision latency stays in the sub-millisecond range
+and grows mildly with cluster size (the MDP dims are fixed; only the
+mask/occupancy computation grows); simulator throughput stays usable at
+128+ units.
+"""
+
+from repro.harness import experiments as E
+
+
+def test_e10_scalability(once):
+    out = once(E.e10_scalability,
+               sizes=((16, 4), (32, 8), (64, 16), (128, 32)), repeats=30)
+    print("\n" + out.text)
+    decision_us = [r["decision_us"] for r in out.rows]
+    assert all(d < 50_000 for d in decision_us)      # < 50 ms per decision
+    assert all(r["sim_ticks_per_s"] > 20 for r in out.rows)
+    # Latency does not blow up (< 20x from smallest to largest cluster).
+    assert decision_us[-1] < decision_us[0] * 20

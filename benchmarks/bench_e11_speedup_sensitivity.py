@@ -1,0 +1,19 @@
+"""E11 (figure): elastic advantage vs Amdahl serial fraction.
+
+Expected shape: the miss-rate advantage of elastic over rigid-min
+management shrinks as the serial fraction grows (extra units buy less),
+vanishing as sigma approaches the no-scaling regime.
+"""
+
+from repro.harness import experiments as E
+
+
+def test_e11_speedup_sensitivity(once):
+    out = once(E.e11_speedup_sensitivity, sigmas=(0.0, 0.1, 0.3, 0.5),
+               load=0.8, n_traces=3)
+    print("\n" + out.text)
+    adv = out.series["advantage"]
+    # Advantage at perfect scaling exceeds advantage at sigma=0.5.
+    assert adv[0] >= adv[-1] - 0.05
+    # Elastic never loses badly to rigid at any sigma.
+    assert min(adv) > -0.15

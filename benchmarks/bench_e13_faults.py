@@ -1,0 +1,27 @@
+"""E13 (figure/table): robustness under machine failures.
+
+Expected shape: all schedulers' miss rates are non-degrading-free as
+unit MTBF drops (fault pressure rises); the elasticity-compatible
+heuristic degrades most gracefully because it can re-pack preempted
+work into the shrunken cluster.
+"""
+
+import numpy as np
+
+from repro.harness import experiments as E
+
+
+def test_e13_fault_robustness(once):
+    out = once(E.e13_fault_robustness,
+               mtbfs=(float("inf"), 60.0, 25.0, 10.0), n_traces=3)
+    print("\n" + out.text)
+    for name, series in out.series.items():
+        # More faults hurt (allow small noise): last point vs fault-free.
+        assert series[-1] >= series[0] - 0.05, name
+    # Elastic heuristic at the highest fault level stays competitive with
+    # the rigid deadline heuristic.
+    assert out.series["greedy-elastic"][-1] <= out.series["fifo"][-1] + 0.05
+    # Preemptions only occur when faults are enabled.
+    for row in out.rows:
+        if row["mtbf"] == "inf":
+            assert row["preemptions"] == 0

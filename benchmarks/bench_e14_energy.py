@@ -1,0 +1,21 @@
+"""E14 (table): energy accounting per scheduler.
+
+Expected shape: min-parallelism admission burns the least energy per
+job (fewest busy unit-ticks) but pays in deadline metrics;
+heterogeneity-blind placement wastes accelerator watts; the elastic
+heuristic buys its deadline advantage with a bounded energy premium.
+"""
+
+from repro.harness import experiments as E
+
+
+def test_e14_energy(once):
+    out = once(E.e14_energy, n_traces=3)
+    print("\n" + out.text)
+    by_name = {r["scheduler"]: r for r in out.rows}
+    # Energy is metered and positive for every scheduler.
+    assert all(r["total_energy"] > 0 for r in out.rows)
+    # Min-parallelism admission uses no more energy than fit admission.
+    assert by_name["edf-min"]["total_energy"] <= by_name["edf-fit"]["total_energy"] + 1e-6
+    # ... but fit admission wins on deadline outcomes.
+    assert by_name["edf-fit"]["miss_rate"] <= by_name["edf-min"]["miss_rate"] + 0.02

@@ -1,0 +1,28 @@
+"""E15 (table): DAG (dependency-structured) workloads.
+
+Expected shape: critical-path-first ordering achieves the lowest graph
+deadline-miss rate — CP pressure, not arrival order, bounds a graph's
+completion. The warm-started flat-encoder DRL policy lands in the
+heuristic band but does NOT beat CP-first: the flat DeepRM-style state
+cannot see downstream graph structure, which is exactly the gap
+Decima's graph encoder exists to close (recorded as a negative result
+in EXPERIMENTS.md).
+"""
+
+from repro.harness import experiments as E
+
+
+def test_e15_dag_workloads(once):
+    out = once(E.e15_dag_workloads, n_traces=4, n_dags=12,
+               include_drl=True, train_iterations=40)
+    print("\n" + out.text)
+    by_name = {r["scheduler"]: r for r in out.rows}
+    cp = by_name["cp-first"]["graph_miss_rate"]
+    # CP-first is the best (or tied-best) ordering on graph misses.
+    assert cp <= by_name["fifo"]["graph_miss_rate"] + 1e-9
+    assert cp <= by_name["edf"]["graph_miss_rate"] + 1e-9
+    # The warm-started DRL lands within the heuristic band (bounded gap),
+    # completing some graphs under every seed.
+    assert by_name["drl-dag"]["graph_miss_rate"] <= \
+        by_name["edf"]["graph_miss_rate"] + 0.20
+    assert all(r["graph_miss_rate"] < 1.0 for r in out.rows)

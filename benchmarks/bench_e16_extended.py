@@ -1,0 +1,30 @@
+"""E16 (table): operational baselines — backfill, admission control, migration.
+
+Expected shape: EASY backfilling improves (or matches) FIFO's tardiness;
+admission control sheds hopeless work, cutting mean tardiness of its
+inner policy at overload; the migrating variant is at least competitive
+with the non-migrating elastic heuristic.
+"""
+
+from repro.harness import experiments as E
+
+
+def test_e16_extended_baselines(once):
+    out = once(E.e16_extended_baselines, loads=(0.7, 1.1), n_traces=3)
+    print("\n" + out.text)
+
+    def get(load, name, metric):
+        return next(r[metric] for r in out.rows
+                    if r["load"] == load and r["scheduler"] == name)
+
+    # Backfilling does not regress FIFO on tardiness.
+    assert get(0.7, "easy-backfill", "mean_tardiness") <= \
+        get(0.7, "fifo", "mean_tardiness") + 0.5
+    # At overload, admission control cuts its inner policy's tardiness
+    # (hopeless work no longer clogs the queue).
+    assert get(1.1, "ac(edf)", "mean_tardiness") <= \
+        get(1.1, "edf", "mean_tardiness") + 1e-9
+    # Admission control actually sheds at overload.
+    assert get(1.1, "ac(edf)", "dropped") > 0
+    # Fairness stays meaningful: all indices in (0, 1].
+    assert all(0.0 < r["class_fairness"] <= 1.0 for r in out.rows)

@@ -1,0 +1,148 @@
+"""Hot-path microbenchmarks (true pytest-benchmark timing loops).
+
+These are the perf-regression guards the HPC-Python guide asks for:
+profile-informed benchmarks of the code the experiment sweeps spend
+their time in — NN forward/backward, state encoding, action masking,
+and the simulator tick.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CoreConfig
+from repro.core.actions import SchedulingActionSpace
+from repro.core.state import StateEncoder
+from repro.harness import standard_scenario
+from repro.nn import Adam, CrossEntropyLoss, mlp
+from repro.rl.policies import CategoricalPolicy
+from repro.sim import Simulation, SimulationConfig
+from repro.baselines import EDFScheduler
+
+
+@pytest.fixture(scope="module")
+def loaded_sim():
+    """A mid-episode simulation with pending and running jobs."""
+    scenario = standard_scenario(load=0.9, horizon=40,
+                                 core=CoreConfig(queue_slots=8,
+                                                 running_slots=8, horizon=20))
+    sim = Simulation(scenario.platforms, scenario.trace(1000),
+                     SimulationConfig(horizon=500))
+    sched = EDFScheduler()
+    for _ in range(15):
+        sched.schedule(sim)
+        sim.advance_tick()
+    return scenario, sim
+
+
+def test_nn_forward_batch(benchmark):
+    rng = np.random.default_rng(0)
+    net = mlp([256, 128, 128, 64], rng)
+    x = rng.normal(size=(128, 256))
+    benchmark(net.forward, x)
+
+
+def test_nn_forward_backward_step(benchmark):
+    rng = np.random.default_rng(0)
+    net = mlp([256, 128, 128, 64], rng)
+    opt = Adam(net.params(), net.grads(), lr=1e-3)
+    loss_fn = CrossEntropyLoss()
+    x = rng.normal(size=(128, 256))
+    y = rng.integers(0, 64, size=128)
+
+    def step():
+        net.zero_grad()
+        _, grad = loss_fn(net.forward(x), y)
+        net.backward(grad)
+        opt.step()
+
+    benchmark(step)
+
+
+def test_state_encode(benchmark, loaded_sim):
+    scenario, sim = loaded_sim
+    encoder = StateEncoder(scenario.core,
+                           [p.name for p in scenario.platforms])
+    benchmark(encoder.encode, sim)
+
+
+def test_action_mask(benchmark, loaded_sim):
+    scenario, sim = loaded_sim
+    space = SchedulingActionSpace(scenario.core,
+                                  [p.name for p in scenario.platforms])
+    benchmark(space.mask, sim)
+
+
+def test_policy_act(benchmark, loaded_sim):
+    scenario, sim = loaded_sim
+    encoder = StateEncoder(scenario.core,
+                           [p.name for p in scenario.platforms])
+    space = SchedulingActionSpace(scenario.core,
+                                  [p.name for p in scenario.platforms])
+    policy = CategoricalPolicy.for_sizes(encoder.obs_dim, space.n, (128, 128),
+                                         np.random.default_rng(0))
+    obs = encoder.encode(sim)
+    mask = space.mask(sim)
+    rng = np.random.default_rng(1)
+    benchmark(policy.act, obs, rng, mask)
+
+
+def test_sim_tick_under_edf(benchmark):
+    scenario = standard_scenario(load=0.9, horizon=40)
+    sched = EDFScheduler()
+
+    def run_episode():
+        sim = Simulation(scenario.platforms, scenario.trace(1000),
+                         SimulationConfig(horizon=300))
+        while not sim.is_done():
+            sched.schedule(sim)
+            sim.advance_tick()
+        return sim.now
+
+    benchmark(run_episode)
+
+
+def test_prioritized_replay_sample(benchmark):
+    from repro.rl import PrioritizedReplayBuffer
+
+    rng = np.random.default_rng(0)
+    buf = PrioritizedReplayBuffer(50_000, 144, 49)
+    obs = rng.normal(size=144)
+    for i in range(20_000):
+        buf.add(obs, i % 49, float(i % 7), obs, False,
+                np.ones(49, dtype=bool))
+    buf.update_priorities(np.arange(20_000),
+                          rng.uniform(0.1, 5.0, size=20_000))
+    benchmark(buf.sample, 64, rng)
+
+
+def test_dag_critical_path(benchmark):
+    from repro.dag import DAGWorkloadConfig
+    from repro.dag.workload import generate_dag_graph
+    from repro.sim import Platform
+
+    platforms = [Platform("cpu", 16, 1.0), Platform("gpu", 6, 1.0)]
+    cfg = DAGWorkloadConfig(stages_range=(12, 16), layers_range=(4, 6))
+    graph = generate_dag_graph(cfg, platforms, np.random.default_rng(0), 0)
+
+    def cp():
+        graph._downstream_cp = None      # defeat the cache: measure the DP
+        return graph.critical_path_length(platforms)
+
+    benchmark(cp)
+
+
+def test_fault_injector_step(benchmark):
+    from repro.sim import FaultInjector, FaultModel, Platform
+
+    scenario = standard_scenario(load=0.9, horizon=40)
+    sim = Simulation(scenario.platforms, scenario.trace(1000),
+                     SimulationConfig(horizon=500))
+    sched = EDFScheduler()
+    for _ in range(10):
+        sched.schedule(sim)
+        sim.advance_tick()
+    injector = FaultInjector(
+        {p.name: FaultModel(mtbf=50.0, mttr=8.0) for p in scenario.platforms},
+        rng=np.random.default_rng(0),
+    )
+    benchmark(injector.step, sim)

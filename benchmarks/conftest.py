@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_eXX`` module regenerates one table/figure of the
+reconstructed evaluation (DESIGN.md §4). Experiment benches run their
+workload exactly once through ``benchmark.pedantic`` (they are
+experiments, not microbenchmarks), print the rendered table/figure, and
+assert the expected qualitative *shape*. ``bench_micro.py`` contains the
+true hot-path microbenchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return _run

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""DAG pipelines: scheduling dependency-structured analytics jobs.
+
+Builds a hand-crafted ETL-style task graph (extract -> parallel
+transforms -> join -> report), plus a random-graph workload, and
+compares critical-path-first, EDF, and FIFO stage orderings on
+graph-level deadline outcomes.
+
+Runs in a few seconds::
+
+    python examples/dag_pipeline.py
+"""
+
+import numpy as np
+
+from repro.baselines import EDFScheduler, FIFOScheduler
+from repro.dag import (
+    CriticalPathScheduler,
+    DAGSimulation,
+    DAGWorkloadConfig,
+    StageSpec,
+    TaskGraph,
+    generate_dag_trace,
+)
+from repro.harness.tables import format_table
+from repro.sim import Platform, SimulationConfig
+
+
+def etl_pipeline(arrival: int, deadline: float) -> TaskGraph:
+    """extract -> {clean, enrich, featurize} -> join -> report."""
+    affinity = {"cpu": 1.0, "gpu": 3.0}
+    stages = [
+        StageSpec("extract", work=8.0, max_parallelism=2, affinity=affinity),
+        StageSpec("clean", work=12.0, max_parallelism=4, affinity=affinity),
+        StageSpec("enrich", work=20.0, max_parallelism=4, affinity=affinity),
+        StageSpec("featurize", work=10.0, max_parallelism=4, affinity=affinity),
+        StageSpec("join", work=6.0, max_parallelism=2, affinity=affinity),
+        StageSpec("report", work=4.0, max_parallelism=1, affinity=affinity),
+    ]
+    edges = [
+        ("extract", "clean"), ("extract", "enrich"), ("extract", "featurize"),
+        ("clean", "join"), ("enrich", "join"), ("featurize", "join"),
+        ("join", "report"),
+    ]
+    return TaskGraph(stages, edges, arrival, deadline, graph_class="etl")
+
+
+def main() -> None:
+    platforms = [Platform("cpu", 16, 1.0), Platform("gpu", 6, 1.0)]
+
+    # --- 1. One pipeline, inspected ------------------------------------
+    g = etl_pipeline(arrival=0, deadline=40.0)
+    cp = g.critical_path_length(platforms)
+    print(f"ETL pipeline: {g.num_stages} stages, critical path = {cp:.1f} ticks")
+    print(f"per-stage downstream CP: "
+          f"{ {k: round(v, 1) for k, v in g.downstream_critical_path(platforms).items()} }")
+
+    sim = DAGSimulation(platforms, [g], SimulationConfig(horizon=200))
+    sim.run_policy(CriticalPathScheduler(), max_ticks=200)
+    print(f"finished at t={sim.graph_finish_time(g):.0f} "
+          f"(deadline {g.deadline:.0f}, missed={sim.graph_missed(g)})\n")
+
+    # --- 2. Random DAG workload, three stage orderings -----------------
+    config = DAGWorkloadConfig(n_dags=15, horizon=50, tightness=2.2)
+    rows = []
+    for name, sched in [("cp-first", CriticalPathScheduler()),
+                        ("edf", EDFScheduler()),
+                        ("fifo", FIFOScheduler())]:
+        graph_miss, stage_miss = [], []
+        for seed in range(4):
+            dags = generate_dag_trace(config, platforms,
+                                      np.random.default_rng(7000 + seed))
+            sim = DAGSimulation(platforms, dags, SimulationConfig(horizon=300))
+            report = sim.run_policy(sched, max_ticks=300)
+            graph_miss.append(sim.graph_miss_rate())
+            stage_miss.append(report.miss_rate)
+        rows.append({
+            "ordering": name,
+            "graph_miss_rate": float(np.mean(graph_miss)),
+            "stage_miss_rate": float(np.mean(stage_miss)),
+        })
+    rows.sort(key=lambda r: r["graph_miss_rate"])
+    print(format_table(rows, title="random DAG workload (15 graphs x 4 traces)"))
+    print("\ncritical-path pressure — not arrival order — bounds a graph's "
+          "completion;\nCP-first exploits exactly that.")
+
+
+if __name__ == "__main__":
+    main()

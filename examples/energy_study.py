@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Energy study: the watts behind the deadlines.
+
+Meters every scheduler with a heterogeneous power model (cheap CPU
+units, hungry accelerator units) and reports total energy, energy per
+completed job, and the energy-delay product — showing that deadline
+performance and energy draw are distinct axes: min-parallelism saves
+energy but misses deadlines; blind placement wastes accelerator watts.
+
+Runs in a few seconds::
+
+    python examples/energy_study.py
+"""
+
+import numpy as np
+
+from repro.baselines import EDFScheduler, GreedyElasticScheduler, baseline_roster
+from repro.core import evaluate_scheduler_runs
+from repro.harness.experiments import quick_scenario
+from repro.harness.tables import format_table
+from repro.sim import PowerModel
+
+
+def main() -> None:
+    scenario = quick_scenario(load=0.7)
+    traces = scenario.traces(4)
+    # Accelerator units: 3x the dynamic power, 5x the idle floor.
+    power = {
+        "cpu": PowerModel(idle_power=0.1, busy_power=1.0),
+        "gpu": PowerModel(idle_power=0.5, busy_power=3.0),
+    }
+    schedulers = {
+        "edf-min": EDFScheduler(parallelism="min"),
+        "edf-fit": EDFScheduler(parallelism="fit"),
+        "edf-blind": EDFScheduler(platform_choice="blind"),
+        "greedy-elastic": GreedyElasticScheduler(),
+        "tetris": baseline_roster()["tetris"],
+    }
+
+    rows = []
+    for name, sched in schedulers.items():
+        sims = evaluate_scheduler_runs(
+            sched, scenario.platforms, traces,
+            max_ticks=scenario.max_ticks, power_models=power,
+        )
+        reports = [s.metrics() for s in sims]
+        rows.append({
+            "scheduler": name,
+            "total_energy": float(np.mean(
+                [s.energy_meter.total_energy for s in sims])),
+            "energy_per_job": float(np.mean([
+                s.energy_meter.energy_per_job(max(r.num_finished, 1))
+                for s, r in zip(sims, reports)])),
+            "edp": float(np.mean([
+                s.energy_meter.energy_delay_product(r.mean_jct)
+                for s, r in zip(sims, reports)])),
+            "miss_rate": float(np.mean([r.miss_rate for r in reports])),
+        })
+    rows.sort(key=lambda r: r["edp"])
+    print(format_table(rows, title="energy accounting (gpu 3x busy watts)",
+                       precision=3))
+
+    # Per-platform breakdown for the elastic scheduler.
+    sims = evaluate_scheduler_runs(
+        GreedyElasticScheduler(), scenario.platforms, traces[:1],
+        max_ticks=scenario.max_ticks, power_models=power,
+    )
+    meter = sims[0].energy_meter
+    print("\nper-platform energy (one trace, greedy-elastic):")
+    for platform, energy in sorted(meter.per_platform.items()):
+        share = energy / meter.total_energy
+        print(f"  {platform}: {energy:9.1f}  ({share:5.1%})")
+    print("\nthe deadline-vs-energy frontier is real: edf-min draws the "
+          "least power\nbut misses the most deadlines — the composite EDP "
+          "ranks balanced policies first.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Fault-tolerance study: how schedulers degrade as machines fail.
+
+Sweeps unit MTBF from "never fails" down to "fails every ~10 ticks",
+with paired fault traces across schedulers, and reports deadline miss
+rate, preemption counts, and mean availability. Demonstrates the
+fault-injection substrate (:mod:`repro.sim.faults`) and the
+elasticity-vs-rigidity robustness gap.
+
+Runs in a few seconds::
+
+    python examples/fault_tolerance_study.py
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    EDFScheduler,
+    GreedyElasticScheduler,
+    MigratingElasticScheduler,
+)
+from repro.core import evaluate_scheduler_runs
+from repro.harness.experiments import quick_scenario
+from repro.harness.stats import bootstrap_ci
+from repro.harness.tables import format_table
+from repro.sim import FaultModel
+
+
+def main() -> None:
+    scenario = quick_scenario(load=0.7)
+    traces = scenario.traces(4)
+    schedulers = {
+        "edf-rigid(min)": EDFScheduler(parallelism="min"),
+        "edf-fit": EDFScheduler(),
+        "greedy-elastic": GreedyElasticScheduler(),
+        "migrating-elastic": MigratingElasticScheduler(),
+    }
+    mtbfs = [float("inf"), 60.0, 25.0, 10.0]
+    mttr = 8.0
+
+    rows = []
+    for mtbf in mtbfs:
+        models = (
+            None if np.isinf(mtbf)
+            else {p.name: FaultModel(mtbf=mtbf, mttr=mttr)
+                  for p in scenario.platforms}
+        )
+        for name, sched in schedulers.items():
+            sims = evaluate_scheduler_runs(
+                sched, scenario.platforms, traces,
+                max_ticks=scenario.max_ticks, fault_models=models,
+            )
+            miss = bootstrap_ci([s.metrics().miss_rate for s in sims])
+            preempts = float(np.mean([
+                s.fault_injector.stats.preemptions if s.fault_injector else 0
+                for s in sims
+            ]))
+            rows.append({
+                "mtbf": "inf" if np.isinf(mtbf) else mtbf,
+                "scheduler": name,
+                "miss_rate": miss.mean,
+                "miss_ci_lo": miss.lo,
+                "miss_ci_hi": miss.hi,
+                "preemptions": preempts,
+            })
+    print(format_table(rows, title=f"fault-tolerance sweep (mttr={mttr})"))
+
+    # Headline: elastic re-packing degrades more gracefully than rigid-min.
+    def final_miss(name):
+        return next(r["miss_rate"] for r in rows
+                    if r["scheduler"] == name and r["mtbf"] == 10.0)
+
+    gap = final_miss("edf-rigid(min)") - final_miss("greedy-elastic")
+    print(f"\nelastic advantage at MTBF=10: {gap:+.3f} miss rate")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Domain scenario 2: placement on a CPU+GPU cluster.
+
+Demonstrates why heterogeneity awareness matters for time-critical work:
+accelerator-friendly jobs routed to the scarce GPU pool meet deadlines
+that CPU placement would miss — unless the GPU pool is already
+contended, in which case a good manager spills to CPU. Compares aware
+vs blind placement and prints per-class miss rates::
+
+    python examples/heterogeneous_placement.py
+"""
+
+import numpy as np
+
+from repro.baselines import EDFScheduler, GreedyElasticScheduler
+from repro.harness.experiments import quick_scenario
+from repro.harness.tables import format_table
+from repro.sim import Simulation, SimulationConfig
+
+
+def main() -> None:
+    scenario = quick_scenario(load=0.8)
+    trace = scenario.trace(2024)
+    gpu_friendly = [j for j in trace if j.job_class == "tc-gpu"]
+    print(f"trace: {len(trace)} jobs, {len(gpu_friendly)} accelerator-friendly "
+          f"(run 4x faster on the {scenario.platforms[1].capacity}-unit GPU pool)\n")
+
+    rows = []
+    for name, sched in [
+        ("edf-aware", EDFScheduler(platform_choice="best")),
+        ("edf-blind", EDFScheduler(platform_choice="blind")),
+        ("greedy-elastic-aware", GreedyElasticScheduler(platform_choice="best")),
+        ("greedy-elastic-blind", GreedyElasticScheduler(platform_choice="blind")),
+    ]:
+        jobs = scenario.trace(2024)    # fresh identical jobs per scheduler
+        sim = Simulation(scenario.platforms, jobs,
+                         SimulationConfig(horizon=scenario.max_ticks))
+        report = sim.run_policy(sched, max_ticks=scenario.max_ticks)
+        row = {"scheduler": name, "miss_rate": report.miss_rate,
+               "mean_slowdown": report.mean_slowdown}
+        for cls, rate in report.per_class_miss_rate.items():
+            row[f"miss[{cls}]"] = rate
+        rows.append(row)
+
+    print(format_table(rows, title="Affinity-aware vs heterogeneity-blind placement"))
+    print("\nThe miss[tc-gpu] column shows where blind placement hurts most:")
+    print("accelerator-friendly time-critical jobs stranded on CPU units.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Overload shedding under a diurnal arrival pattern.
+
+Real time-critical workloads peak daily; the daytime crest pushes the
+cluster past capacity and the question is what to do with work that can
+no longer make its deadline. This example builds a diurnal trace
+(sinusoidally modulated Poisson arrivals), runs EDF with and without
+admission control, and shows the shedding trade: a few explicit drops
+in exchange for a collapse in tardiness and slowdown for everything
+that remains.
+
+Runs in a few seconds::
+
+    python examples/overload_shedding.py
+"""
+
+import numpy as np
+
+from repro.baselines import AdmissionControlScheduler, EDFScheduler, GreedyElasticScheduler
+from repro.harness.tables import format_table
+from repro.sim import Platform, Simulation, SimulationConfig
+from repro.workload import (
+    DiurnalArrivals,
+    WorkloadConfig,
+    arrival_rate_for_load,
+    default_job_classes,
+    generate_trace,
+)
+
+
+def diurnal_trace(platforms, seed, peak_load=1.4, period=40, horizon=80):
+    """A trace whose *peak* offered load overshoots capacity."""
+    config = WorkloadConfig(classes=default_job_classes(), horizon=horizon)
+    # arrival_rate_for_load gives the Poisson rate for a target mean load;
+    # the diurnal modulation swings the instantaneous load around it.
+    mean_load = peak_load / 1.8          # amplitude 0.8 => peak = 1.8x mean
+    base_rate = arrival_rate_for_load(mean_load, config, platforms)
+    arrivals = DiurnalArrivals(base_rate=base_rate, amplitude=0.8,
+                               period=period)
+    rng = np.random.default_rng(seed)
+    return generate_trace(config, platforms, rng, arrivals=arrivals)
+
+
+def main() -> None:
+    platforms = [Platform("cpu", 16, 1.0), Platform("gpu", 6, 1.0)]
+    schedulers = {
+        "edf": EDFScheduler(),
+        "ac(edf)": AdmissionControlScheduler(EDFScheduler()),
+        "greedy-elastic": GreedyElasticScheduler(),
+        "ac(greedy-elastic)": AdmissionControlScheduler(GreedyElasticScheduler()),
+    }
+    rows = []
+    for name in schedulers:
+        misses, tardies, slowdowns, drops = [], [], [], []
+        for seed in range(4):
+            jobs = diurnal_trace(platforms, 8000 + seed)
+            sim = Simulation(platforms, jobs, SimulationConfig(horizon=400))
+            # Fresh scheduler per run (admission wrappers accumulate state).
+            sched = {
+                "edf": EDFScheduler(),
+                "ac(edf)": AdmissionControlScheduler(EDFScheduler()),
+                "greedy-elastic": GreedyElasticScheduler(),
+                "ac(greedy-elastic)": AdmissionControlScheduler(
+                    GreedyElasticScheduler()),
+            }[name]
+            report = sim.run_policy(sched, max_ticks=400)
+            misses.append(report.miss_rate)
+            tardies.append(report.mean_tardiness)
+            slowdowns.append(report.mean_slowdown)
+            drops.append(report.num_dropped)
+        rows.append({
+            "scheduler": name,
+            "miss_rate": float(np.mean(misses)),
+            "mean_tardiness": float(np.mean(tardies)),
+            "mean_slowdown": float(np.mean(slowdowns)),
+            "dropped/trace": float(np.mean(drops)),
+        })
+    rows.sort(key=lambda r: r["mean_tardiness"])
+    print(format_table(
+        rows, title="diurnal overload (peak load ~1.4): to shed or not to shed"))
+    print("\nadmission control converts inevitable lateness into explicit "
+          "drops;\nthe surviving jobs stop queueing behind doomed ones.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; with this file present, ``pip install -e .`` falls back to
+``setup.py develop``, which needs no wheel building. All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

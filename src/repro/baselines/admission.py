@@ -1,0 +1,64 @@
+"""Admission control: shed provably hopeless work before scheduling.
+
+A time-critical system gains nothing from starting a job whose deadline
+is unreachable even at maximum parallelism on its fastest platform —
+the units it would hold are pure waste for the jobs that can still make
+it. This wrapper drops such jobs from the queue each tick (they count
+as misses *and* drops in the metrics, as they should), then delegates
+to any inner scheduler.
+
+Composable with every baseline and with :class:`~repro.core.DRLScheduler`:
+``AdmissionControlScheduler(EDFScheduler())`` is "EDF with load shedding".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.sim.events import Event, EventKind
+from repro.sim.job import Job, JobState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulation import Simulation
+
+__all__ = ["AdmissionControlScheduler"]
+
+
+class AdmissionControlScheduler:
+    """Wrapper that rejects infeasible pending jobs, then defers to ``inner``.
+
+    Parameters
+    ----------
+    inner:
+        Any object with a ``schedule(sim)`` method.
+    slack_threshold:
+        Jobs are shed when their best-case slack falls below this value
+        (0 = only provably hopeless work; positive values shed earlier,
+        trading completed-late work for queue headroom).
+    """
+
+    def __init__(self, inner, slack_threshold: float = 0.0) -> None:
+        self.inner = inner
+        self.slack_threshold = slack_threshold
+        self.shed_jobs: List[Job] = []
+        self.name = f"ac({getattr(inner, 'name', type(inner).__name__)})"
+
+    def schedule(self, sim: "Simulation") -> None:
+        """Shed infeasible work, then run the inner scheduler."""
+        for job in list(sim.pending):
+            base_speed = self._best_base_speed(sim, job)
+            if job.slack(sim.now, base_speed=base_speed) < self.slack_threshold:
+                job.state = JobState.DROPPED
+                job.miss_recorded = True
+                sim.pending.remove(job)
+                sim.dropped.append(job)
+                self.shed_jobs.append(job)
+                sim.log.record(Event(sim.now, EventKind.DROP, job.job_id,
+                                     detail="admission-control"))
+        self.inner.schedule(sim)
+
+    @staticmethod
+    def _best_base_speed(sim: "Simulation", job: Job) -> float:
+        best_platform = max(job.affinity, key=job.affinity.get)
+        platform = sim.cluster.platforms.get(best_platform)
+        return platform.base_speed if platform is not None else 1.0

@@ -1,0 +1,174 @@
+"""Command-line interface: list/run experiments, train and save policies.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run e02_main_table --out results.json
+    python -m repro.cli run e03_load_sweep --csv e03.csv
+    python -m repro.cli train --load 0.7 --iterations 60 --out policy.npz
+    python -m repro.cli evaluate --policy policy.npz --load 0.7 --traces 4
+
+``run`` accepts any registered experiment name (the ``eXX_*`` functions
+of :mod:`repro.harness.experiments`); sizes default to the bench-scale
+parameters so a laptop regenerates every table/figure in minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["experiment_registry", "main"]
+
+
+def experiment_registry() -> Dict[str, Callable]:
+    """Name -> callable for every ``eXX_*`` experiment entry point."""
+    from repro.harness import experiments as E
+
+    registry: Dict[str, Callable] = {}
+    for name in E.__all__:
+        if name[0] == "e" and name[1:3].isdigit():
+            registry[name] = getattr(E, name)
+    return registry
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    registry = experiment_registry()
+    width = max(len(n) for n in registry)
+    for name, fn in sorted(registry.items()):
+        doc = (inspect.getdoc(fn) or "").splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{name:<{width}}  {summary}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    registry = experiment_registry()
+    if args.experiment not in registry:
+        print(f"unknown experiment {args.experiment!r}; run `list` to see choices",
+              file=sys.stderr)
+        return 2
+    fn = registry[args.experiment]
+    kwargs = {}
+    if args.seed is not None and "seed" in inspect.signature(fn).parameters:
+        kwargs["seed"] = args.seed
+    out = fn(**kwargs)
+    print(out.text)
+    print(f"\n[{out.name}] elapsed: {out.elapsed_s:.1f}s")
+    if args.out:
+        from repro.harness.results import ResultStore
+
+        store = ResultStore()
+        store.add_rows(out.name, out.rows)
+        store.save(args.out)
+        print(f"rows saved to {args.out}")
+    if args.csv:
+        from repro.harness.tables import rows_to_csv
+
+        with open(args.csv, "w") as fh:
+            fh.write(rows_to_csv(out.rows))
+        print(f"csv saved to {args.csv}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import quick_scenario, train_drl
+    from repro.nn.serialize import save_params
+
+    scenario = quick_scenario(load=args.load)
+    sched = train_drl(scenario, iterations=args.iterations, seed=args.seed,
+                      algo=args.algo)
+    save_params(sched.policy.net, args.out)
+    print(f"trained {args.algo} policy (load={args.load}, "
+          f"{args.iterations} iters) -> {args.out}")
+    return 0
+
+
+def _load_policy(path: str, scenario) -> "object":
+    from repro.core import DRLScheduler
+    from repro.nn.serialize import load_params
+    from repro.rl.policies import CategoricalPolicy
+
+    env = scenario.eval_env(scenario.traces(1), seed=0)
+    policy = CategoricalPolicy.for_sizes(env.encoder.obs_dim, env.actions.n,
+                                         (128, 128), np.random.default_rng(0))
+    load_params(policy.net, path)
+    return DRLScheduler(policy, env.config, [p.name for p in scenario.platforms],
+                        greedy=True)
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.baselines import baseline_roster
+    from repro.core import evaluate_scheduler
+    from repro.harness.experiments import quick_scenario
+    from repro.harness.tables import format_table
+
+    scenario = quick_scenario(load=args.load)
+    traces = scenario.traces(args.traces)
+    schedulers = dict(baseline_roster())
+    if args.policy:
+        schedulers["drl"] = _load_policy(args.policy, scenario)
+    rows: List[dict] = []
+    for name, sched in schedulers.items():
+        reports = evaluate_scheduler(sched, scenario.platforms, traces,
+                                     max_ticks=scenario.max_ticks)
+        rows.append({
+            "scheduler": name,
+            "miss_rate": float(np.mean([r.miss_rate for r in reports])),
+            "mean_slowdown": float(np.mean([r.mean_slowdown for r in reports])),
+            "mean_utilization": float(np.mean([r.mean_utilization for r in reports])),
+        })
+    rows.sort(key=lambda r: r["miss_rate"])
+    print(format_table(rows, title=f"evaluation (load={args.load})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Elasticity-compatible heterogeneous DRL resource "
+                    "management for time-critical computing — reproduction CLI.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list)
+
+    run = sub.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("experiment", help="experiment name, e.g. e02_main_table")
+    run.add_argument("--out", help="save rows as JSON (ResultStore format)")
+    run.add_argument("--csv", help="save rows as CSV")
+    run.add_argument("--seed", type=int, default=None)
+    run.set_defaults(func=_cmd_run)
+
+    train = sub.add_parser("train", help="train a DRL policy and save it")
+    train.add_argument("--load", type=float, default=0.7)
+    train.add_argument("--iterations", type=int, default=60)
+    train.add_argument("--algo", default="ppo",
+                       choices=["reinforce", "a2c", "ppo"])
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", default="policy.npz")
+    train.set_defaults(func=_cmd_train)
+
+    ev = sub.add_parser("evaluate",
+                        help="compare baselines (and a saved policy) on traces")
+    ev.add_argument("--policy", default=None, help="path from `train --out`")
+    ev.add_argument("--load", type=float, default=0.7)
+    ev.add_argument("--traces", type=int, default=3)
+    ev.set_defaults(func=_cmd_evaluate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

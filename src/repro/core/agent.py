@@ -1,0 +1,54 @@
+"""DRLScheduler: a trained policy packaged as a scheduling policy.
+
+Baselines implement ``schedule(sim)``; this adapter gives the learned
+policy the same interface, so :meth:`repro.sim.Simulation.run_policy`
+evaluates DRL and heuristics under *identical* dynamics — the apples-to-
+apples requirement of the comparison tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.actions import SchedulingActionSpace
+from repro.core.config import CoreConfig
+from repro.core.state import StateEncoder
+from repro.rl.policies import CategoricalPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulation import Simulation
+
+__all__ = ["DRLScheduler"]
+
+
+class DRLScheduler:
+    """Greedy (or stochastic) decoding of a trained policy, tick by tick."""
+
+    def __init__(
+        self,
+        policy: CategoricalPolicy,
+        config: CoreConfig,
+        platform_names: list,
+        greedy: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        work_scale: float = 25.0,
+    ) -> None:
+        self.policy = policy
+        self.config = config
+        self.encoder = StateEncoder(config, platform_names, work_scale=work_scale)
+        self.actions = SchedulingActionSpace(config, platform_names)
+        self.greedy = greedy
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.name = "drl"
+
+    def schedule(self, sim: "Simulation") -> None:
+        """Decode actions for the current tick until no-op or budget."""
+        for _ in range(self.config.actions_per_tick):
+            mask = self.actions.mask(sim)
+            obs = self.encoder.encode(sim)
+            action, _ = self.policy.act(obs, self.rng, mask=mask, greedy=self.greedy)
+            if action == self.actions.noop_index:
+                return
+            self.actions.apply(sim, action)

@@ -1,0 +1,67 @@
+"""Configuration of the DRL resource manager."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.reward import RewardWeights
+
+__all__ = ["CoreConfig"]
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Structural hyperparameters of the scheduler MDP.
+
+    Parameters
+    ----------
+    queue_slots:
+        Number of pending jobs visible to the policy (``M``). Jobs beyond
+        the window are summarized in the backlog features.
+    running_slots:
+        Number of running jobs visible for elastic grow/shrink actions
+        (``K``).
+    horizon:
+        Lookahead ticks of the cluster occupancy image (``H``).
+    parallelism_levels:
+        Admission parallelism choices as fractions of the job's
+        ``[min, max]`` elasticity window; e.g. ``(0.0, 0.5, 1.0)`` =
+        min / midpoint / max.
+    actions_per_tick:
+        Budget of scheduling decisions the agent may take before the
+        simulator is forced to advance one tick (DeepRM convention: the
+        agent acts repeatedly until it emits no-op; the budget bounds the
+        episode length).
+    elastic_actions:
+        Expose grow/shrink actions (the E5 ablation switches this off).
+    reject_actions:
+        Expose reject(queue-slot) actions: the policy may shed a visible
+        pending job whose deadline is provably unreachable (negative
+        best-case slack — the mask enforces the feasibility check, the
+        policy learns *whether* shedding beats letting it linger).
+    reward:
+        Reward shaping weights.
+    """
+
+    queue_slots: int = 8
+    running_slots: int = 8
+    horizon: int = 20
+    parallelism_levels: Tuple[float, ...] = (0.0, 0.5, 1.0)
+    actions_per_tick: int = 8
+    elastic_actions: bool = True
+    reject_actions: bool = False
+    reward: RewardWeights = field(default_factory=RewardWeights)
+
+    def __post_init__(self) -> None:
+        if self.queue_slots < 1 or self.running_slots < 0:
+            raise ValueError("queue_slots >= 1 and running_slots >= 0 required")
+        if self.horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if not self.parallelism_levels:
+            raise ValueError("need at least one parallelism level")
+        for level in self.parallelism_levels:
+            if not 0.0 <= level <= 1.0:
+                raise ValueError("parallelism levels are fractions in [0, 1]")
+        if self.actions_per_tick < 1:
+            raise ValueError("actions_per_tick must be >= 1")

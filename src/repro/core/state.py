@@ -1,0 +1,171 @@
+"""DeepRM-style fixed-size state encoding.
+
+The observation concatenates (lengths for P platforms, M queue slots, K
+running slots, horizon H):
+
+* **cluster image** ``P * (1 + H)`` — per platform: the free fraction now,
+  then the committed occupancy fraction for each of the next H ticks
+  (running jobs assumed to hold their current allocation until their
+  estimated completion);
+* **queue slots** ``M * (9 + P)`` — per visible pending job: presence
+  flag, normalized work, elasticity-window features, slack and tightness,
+  waiting time, weight, and the affinity vector over platforms;
+* **running slots** ``K * 8`` — per visible running job: presence,
+  remaining work, slack, current parallelism position inside the window,
+  grow/shrink headroom, progress rate, lateness flag;
+* **globals** (4) — backlog beyond the queue window, future arrivals
+  indicator, mean pending slack, current utilization.
+
+All features are scale-normalized and clipped to ``[-clip, clip]`` so the
+policy network sees bounded inputs at any load.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.config import CoreConfig
+from repro.core.reward import job_ideal_duration
+from repro.core.views import queue_view, running_view
+from repro.sim.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulation import Simulation
+
+__all__ = ["StateEncoder"]
+
+
+class StateEncoder:
+    """Encodes a :class:`~repro.sim.Simulation` into a flat float vector."""
+
+    QUEUE_BASE_FEATURES = 9
+    RUNNING_FEATURES = 8
+    GLOBAL_FEATURES = 4
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        platform_names: List[str],
+        work_scale: float = 25.0,
+        time_scale: float | None = None,
+        clip: float = 4.0,
+    ) -> None:
+        if not platform_names:
+            raise ValueError("need at least one platform")
+        if work_scale <= 0:
+            raise ValueError("work_scale must be positive")
+        self.config = config
+        self.platform_names = list(platform_names)
+        self.work_scale = work_scale
+        self.time_scale = float(time_scale if time_scale is not None else config.horizon)
+        self.clip = clip
+        self.P = len(self.platform_names)
+
+    @property
+    def obs_dim(self) -> int:
+        """Total observation length."""
+        cfg = self.config
+        return (
+            self.P * (1 + cfg.horizon)
+            + cfg.queue_slots * (self.QUEUE_BASE_FEATURES + self.P)
+            + cfg.running_slots * self.RUNNING_FEATURES
+            + self.GLOBAL_FEATURES
+        )
+
+    # --- encoding --------------------------------------------------------------
+    def encode(self, sim: "Simulation") -> np.ndarray:
+        """Build the observation for the simulation's current state."""
+        cfg = self.config
+        parts = [
+            self._cluster_image(sim),
+            self._queue_features(sim),
+            self._running_features(sim),
+            self._global_features(sim),
+        ]
+        obs = np.concatenate(parts)
+        assert obs.shape == (self.obs_dim,)
+        return np.clip(obs, -self.clip, self.clip)
+
+    def _cluster_image(self, sim: "Simulation") -> np.ndarray:
+        cfg = self.config
+        H = cfg.horizon
+        image = np.zeros((self.P, 1 + H))
+        caps = np.array([sim.cluster.capacity(p) for p in self.platform_names], dtype=float)
+        for i, p in enumerate(self.platform_names):
+            image[i, 0] = sim.cluster.free_units(p) / caps[i]
+        for alloc_job in sim.running:
+            alloc = sim.cluster.allocation_of(alloc_job)
+            if alloc is None:  # pragma: no cover - defensive
+                continue
+            i = self.platform_names.index(alloc.platform)
+            platform = sim.cluster.platforms[alloc.platform]
+            rate = alloc_job.rate_on(alloc.platform, alloc.parallelism, platform.base_speed)
+            remaining_ticks = int(np.ceil(alloc_job.remaining_work / max(rate, 1e-9)))
+            span = min(remaining_ticks, H)
+            if span > 0:
+                image[i, 1 : 1 + span] += alloc.parallelism / caps[i]
+        return image.ravel()
+
+    def _queue_features(self, sim: "Simulation") -> np.ndarray:
+        cfg = self.config
+        base_speeds = {n: p.base_speed for n, p in sim.cluster.platforms.items()}
+        width = self.QUEUE_BASE_FEATURES + self.P
+        out = np.zeros((cfg.queue_slots, width))
+        for m, job in enumerate(queue_view(sim, cfg.queue_slots)):
+            ideal = job_ideal_duration(job, base_speeds)
+            time_left = job.deadline - sim.now
+            span = max(job.max_parallelism - job.min_parallelism, 0)
+            out[m, 0] = 1.0
+            out[m, 1] = job.remaining_work / self.work_scale
+            out[m, 2] = job.min_parallelism / 8.0
+            out[m, 3] = job.max_parallelism / 8.0
+            out[m, 4] = span / 8.0
+            out[m, 5] = job.slack(sim.now, base_speed=self._best_speed(job, sim)) / self.time_scale
+            out[m, 6] = time_left / max(ideal, 1e-9) / 4.0   # tightness ratio
+            out[m, 7] = (sim.now - job.arrival_time) / self.time_scale
+            out[m, 8] = job.weight / 2.0
+            for i, p in enumerate(self.platform_names):
+                out[m, self.QUEUE_BASE_FEATURES + i] = job.affinity.get(p, 0.0) / 4.0
+        return out.ravel()
+
+    def _running_features(self, sim: "Simulation") -> np.ndarray:
+        cfg = self.config
+        out = np.zeros((cfg.running_slots, self.RUNNING_FEATURES))
+        for k, job in enumerate(running_view(sim, cfg.running_slots)):
+            alloc = sim.cluster.allocation_of(job)
+            if alloc is None:  # pragma: no cover - defensive
+                continue
+            platform = sim.cluster.platforms[alloc.platform]
+            rate = job.rate_on(alloc.platform, alloc.parallelism, platform.base_speed)
+            remaining_ticks = job.remaining_work / max(rate, 1e-9)
+            span = max(job.max_parallelism - job.min_parallelism, 1)
+            out[k, 0] = 1.0
+            out[k, 1] = job.remaining_work / self.work_scale
+            out[k, 2] = (job.deadline - sim.now - remaining_ticks) / self.time_scale
+            out[k, 3] = (alloc.parallelism - job.min_parallelism) / span
+            out[k, 4] = 1.0 if sim.cluster.can_grow(job, 1) else 0.0
+            out[k, 5] = 1.0 if sim.cluster.can_shrink(job, 1) else 0.0
+            out[k, 6] = rate / 8.0
+            out[k, 7] = 1.0 if sim.now > job.deadline else 0.0
+        return out.ravel()
+
+    def _global_features(self, sim: "Simulation") -> np.ndarray:
+        cfg = self.config
+        backlog = max(len(sim.pending) - cfg.queue_slots, 0)
+        pending_slacks = [
+            job.slack(sim.now, base_speed=self._best_speed(job, sim))
+            for job in sim.pending
+        ]
+        mean_slack = float(np.mean(pending_slacks)) if pending_slacks else 0.0
+        return np.array([
+            backlog / max(cfg.queue_slots, 1),
+            min(sim.num_future / 50.0, 1.0),
+            mean_slack / self.time_scale,
+            sim.cluster.utilization(),
+        ])
+
+    def _best_speed(self, job: Job, sim: "Simulation") -> float:
+        best_platform = max(job.affinity, key=job.affinity.get)
+        return sim.cluster.platforms[best_platform].base_speed

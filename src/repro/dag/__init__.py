@@ -1,0 +1,36 @@
+"""Dependency-structured (DAG) workloads — the Decima-lineage extension.
+
+Time-critical analytics jobs are rarely monolithic: a submission is a
+*task graph* whose stages become schedulable only when their parents
+finish, and the graph — not any single stage — carries the deadline.
+This package layers that structure on top of the flat simulator:
+
+* :class:`~repro.dag.graph.StageSpec` / :class:`~repro.dag.graph.TaskGraph`
+  — the graph model (networkx-backed), with critical-path analysis;
+* :func:`~repro.dag.workload.generate_dag_trace` — random layered DAGs
+  with heterogeneous stage affinities and critical-path-derived deadlines;
+* :class:`~repro.dag.simulation.DAGSimulation` — a Simulation subclass
+  that releases stages as their dependencies complete;
+* :class:`~repro.dag.scheduler.CriticalPathScheduler` — the classic
+  CP-first list-scheduling baseline;
+* :class:`~repro.dag.env.DAGEpisodeFactory` — plugs DAG traces into the
+  DRL :class:`~repro.core.SchedulerEnv`, so the learned manager can be
+  trained and evaluated on dependency-structured workloads.
+
+Experiment E15 compares CP-first / EDF / FIFO stage ordering (and the
+warm-started DRL policy) on graph deadline outcomes.
+"""
+
+from repro.dag.graph import StageSpec, TaskGraph
+from repro.dag.workload import DAGWorkloadConfig, generate_dag_trace
+from repro.dag.simulation import DAGSimulation
+from repro.dag.scheduler import CriticalPathScheduler
+from repro.dag.env import DAGEpisodeFactory
+
+__all__ = [
+    "StageSpec", "TaskGraph",
+    "DAGWorkloadConfig", "generate_dag_trace",
+    "DAGSimulation",
+    "CriticalPathScheduler",
+    "DAGEpisodeFactory",
+]

@@ -1,0 +1,30 @@
+"""Experiment harness: scenarios, sweeps, tables, plots, persistence.
+
+``repro.harness.experiments`` contains one entry point per table/figure
+of the reconstructed evaluation (E1–E12, see DESIGN.md §4); the modules
+under ``benchmarks/`` call these with bench-sized parameters and
+``EXPERIMENTS.md`` records the measured shapes.
+"""
+
+from repro.harness.scenario import Scenario, standard_scenario
+from repro.harness.results import ResultStore, aggregate_rows
+from repro.harness.tables import format_table, rows_to_csv
+from repro.harness.plots import ascii_line_plot
+from repro.harness.sweeps import sweep_schedulers
+from repro.harness.stats import (
+    MeanCI,
+    bootstrap_ci,
+    paired_permutation_test,
+    summarize,
+)
+from repro.harness import experiments
+
+__all__ = [
+    "Scenario", "standard_scenario",
+    "ResultStore", "aggregate_rows",
+    "format_table", "rows_to_csv",
+    "ascii_line_plot",
+    "sweep_schedulers",
+    "MeanCI", "bootstrap_ci", "paired_permutation_test", "summarize",
+    "experiments",
+]

@@ -1,0 +1,59 @@
+"""ASCII line plots — figure output that survives a terminal-only environment."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_line_plot"]
+
+
+def ascii_line_plot(
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more named series into an ASCII grid.
+
+    Each series is resampled to ``width`` columns; distinct marker
+    characters identify series (legend printed below). Used by the
+    benchmark modules to emit the paper's *figures* as text.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot too small")
+    markers = "*o+x#@%&"
+    arrays = {name: np.asarray(vals, dtype=float) for name, vals in series.items()}
+    for name, arr in arrays.items():
+        if arr.size == 0:
+            raise ValueError(f"series {name!r} is empty")
+    y_min = min(float(a.min()) for a in arrays.values())
+    y_max = max(float(a.max()) for a in arrays.values())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, arr) in enumerate(arrays.items()):
+        marker = markers[idx % len(markers)]
+        xs = np.linspace(0, arr.size - 1, width)
+        resampled = np.interp(xs, np.arange(arr.size), arr)
+        rows = ((resampled - y_min) / (y_max - y_min) * (height - 1)).round().astype(int)
+        for col, row in enumerate(rows):
+            grid[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:10.3f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_min:10.3f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(arrays)
+    )
+    lines.append(f"  {x_label} →   {legend}   ({y_label})")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Generic scheduler-comparison sweeps over paired traces."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.training import evaluate_scheduler
+from repro.harness.results import Row, aggregate_rows
+from repro.harness.scenario import Scenario
+
+__all__ = ["sweep_schedulers"]
+
+SchedulerFactory = Callable[[Scenario], object]
+
+
+def sweep_schedulers(
+    scenarios: Dict[str, Scenario],
+    schedulers: Dict[str, SchedulerFactory],
+    n_traces: int = 3,
+    base_seed: int = 1000,
+    max_ticks: Optional[int] = None,
+) -> List[Row]:
+    """Evaluate every scheduler on every scenario over paired traces.
+
+    ``schedulers`` maps name -> factory called per scenario (so trained
+    policies can be injected as constants and heuristics re-instantiated).
+    Returns aggregated rows: one per (scenario, scheduler) with mean/std
+    of the key metrics over the trace seeds.
+    """
+    raw: List[Row] = []
+    for scen_name, scenario in scenarios.items():
+        traces = scenario.traces(n_traces, base_seed=base_seed)
+        ticks = max_ticks if max_ticks is not None else scenario.max_ticks
+        for sched_name, factory in schedulers.items():
+            policy = factory(scenario)
+            reports = evaluate_scheduler(policy, scenario.platforms, traces,
+                                         max_ticks=ticks)
+            for i, rep in enumerate(reports):
+                raw.append({
+                    "scenario": scen_name,
+                    "scheduler": sched_name,
+                    "trace": i,
+                    "miss_rate": rep.miss_rate,
+                    "mean_slowdown": rep.mean_slowdown,
+                    "mean_tardiness": rep.mean_tardiness,
+                    "mean_utilization": rep.mean_utilization,
+                    "throughput": rep.throughput,
+                })
+    return aggregate_rows(
+        raw,
+        group_by=["scenario", "scheduler"],
+        metrics=["miss_rate", "mean_slowdown", "mean_tardiness",
+                 "mean_utilization", "throughput"],
+    )

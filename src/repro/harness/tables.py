@@ -1,0 +1,70 @@
+"""Aligned text tables and CSV emission (the harness's "figure" output)."""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "rows_to_csv"]
+
+Row = Dict[str, Any]
+
+
+def _fmt(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Row],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Column order defaults to first-row key order; missing cells render
+    empty. This is what benchmark modules print so the paper's tables can
+    be eyeballed straight from test output.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(c, ""), precision) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(line[i]) for line in cells))
+        for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for line in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Row], columns: Optional[Sequence[str]] = None) -> str:
+    """Serialize rows to CSV text (simple quoting for commas)."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buf = io.StringIO()
+    buf.write(",".join(columns) + "\n")
+    for row in rows:
+        out = []
+        for c in columns:
+            v = row.get(c, "")
+            s = f"{v:.6g}" if isinstance(v, float) else str(v)
+            if "," in s or '"' in s:
+                s = '"' + s.replace('"', '""') + '"'
+            out.append(s)
+        buf.write(",".join(out) + "\n")
+    return buf.getvalue()

@@ -1,0 +1,78 @@
+"""Numerically-stable primitives shared by layers, losses, and RL code."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "one_hot",
+    "clip_gradients_",
+    "global_grad_norm",
+    "entropy_of_probs",
+]
+
+ParamGrad = Tuple[np.ndarray, np.ndarray]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax along ``axis``.
+
+    Subtracts the rowwise max before exponentiating so that large logits
+    (common after reward spikes early in policy-gradient training) cannot
+    overflow.
+    """
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable ``log(softmax(x))`` along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a float64 one-hot matrix of shape ``(len(indices), num_classes)``."""
+    indices = np.asarray(indices, dtype=np.intp)
+    if indices.ndim != 1:
+        raise ValueError("one_hot expects a 1-D index array")
+    if indices.size and (indices.min() < 0 or indices.max() >= num_classes):
+        raise ValueError("one_hot index out of range")
+    out = np.zeros((indices.shape[0], num_classes))
+    out[np.arange(indices.shape[0]), indices] = 1.0
+    return out
+
+
+def global_grad_norm(grads: Iterable[np.ndarray]) -> float:
+    """L2 norm of the concatenation of all gradient arrays."""
+    total = 0.0
+    for g in grads:
+        total += float(np.sum(g * g))
+    return float(np.sqrt(total))
+
+
+def clip_gradients_(grads: List[np.ndarray], max_norm: float) -> float:
+    """Scale ``grads`` in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm. In-place scaling avoids reallocating the
+    gradient buffers every update (guide: "in place operations").
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norm = global_grad_norm(grads)
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for g in grads:
+            g *= scale
+    return norm
+
+
+def entropy_of_probs(probs: np.ndarray, axis: int = -1, eps: float = 1e-12) -> np.ndarray:
+    """Shannon entropy of probability rows (nats)."""
+    p = np.clip(probs, eps, 1.0)
+    return -np.sum(p * np.log(p), axis=axis)

@@ -1,0 +1,48 @@
+"""Reinforcement-learning substrate.
+
+Gym-like environment protocol, action/observation spaces, return/advantage
+estimation, masked categorical policies over the from-scratch NN stack,
+and four agents: REINFORCE (with learned baseline, as DeepRM), A2C, PPO
+(clipped), and DQN (replay + target network) — the algorithm family the
+paper's evaluation compares (experiment E12).
+"""
+
+from repro.rl.spaces import Box, Discrete
+from repro.rl.env import Env
+from repro.rl.returns import (
+    discounted_returns,
+    gae_advantages,
+    normalize_advantages,
+    n_step_returns,
+)
+from repro.rl.running_norm import RunningMeanStd
+from repro.rl.policies import CategoricalPolicy, ValueFunction
+from repro.rl.rollout import RolloutBuffer, Transition
+from repro.rl.replay import ReplayBuffer
+from repro.rl.prioritized import PrioritizedReplayBuffer
+from repro.rl.schedules import (
+    ConstantSchedule,
+    CosineSchedule,
+    ExponentialSchedule,
+    LinearSchedule,
+    PiecewiseSchedule,
+    Schedule,
+)
+from repro.rl.reinforce import ReinforceAgent, ReinforceConfig
+from repro.rl.a2c import A2CAgent, A2CConfig
+from repro.rl.ppo import PPOAgent, PPOConfig
+from repro.rl.dqn import DQNAgent, DQNConfig, DuelingQNet
+
+__all__ = [
+    "Box", "Discrete", "Env",
+    "discounted_returns", "n_step_returns", "gae_advantages",
+    "normalize_advantages", "RunningMeanStd",
+    "CategoricalPolicy", "ValueFunction",
+    "RolloutBuffer", "Transition", "ReplayBuffer", "PrioritizedReplayBuffer",
+    "Schedule", "ConstantSchedule", "LinearSchedule", "ExponentialSchedule",
+    "CosineSchedule", "PiecewiseSchedule",
+    "ReinforceAgent", "ReinforceConfig",
+    "A2CAgent", "A2CConfig",
+    "PPOAgent", "PPOConfig",
+    "DQNAgent", "DQNConfig", "DuelingQNet",
+]

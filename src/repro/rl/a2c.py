@@ -1,0 +1,141 @@
+"""Advantage actor-critic (synchronous A2C) with GAE."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.optim import Adam
+from repro.nn.utils import clip_gradients_
+from repro.rl.env import Env
+from repro.rl.policies import CategoricalPolicy, ValueFunction
+from repro.rl.returns import gae_advantages, normalize_advantages
+from repro.rl.rollout import RolloutBuffer, Transition
+
+__all__ = ["A2CConfig", "A2CAgent"]
+
+
+@dataclass(frozen=True)
+class A2CConfig:
+    """Hyperparameters for :class:`A2CAgent`."""
+
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    lr: float = 3e-4
+    value_lr: float = 1e-3
+    entropy_coef: float = 0.01
+    normalize: bool = True
+    max_grad_norm: float = 5.0
+    hidden: Tuple[int, ...] = (64, 64)
+
+
+class A2CAgent:
+    """Actor-critic with GAE advantages; one gradient step per batch."""
+
+    def __init__(
+        self,
+        obs_dim: int,
+        n_actions: int,
+        config: A2CConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.config = config
+        self.rng = rng
+        self.policy = CategoricalPolicy.for_sizes(obs_dim, n_actions, config.hidden, rng)
+        self.value_fn = ValueFunction.for_sizes(obs_dim, config.hidden, rng)
+        self.optimizer = Adam(self.policy.params(), self.policy.grads(), lr=config.lr)
+        self.value_opt = Adam(self.value_fn.params(), self.value_fn.grads(), lr=config.value_lr)
+
+    def act(self, obs: np.ndarray, mask: Optional[np.ndarray] = None,
+            greedy: bool = False) -> Tuple[int, float]:
+        """Select an action; returns ``(action, log_prob)``."""
+        return self.policy.act(obs, self.rng, mask=mask, greedy=greedy)
+
+    def collect_episode(
+        self, env: Env, buffer: RolloutBuffer, max_steps: int
+    ) -> float:
+        """Roll one episode (with value estimates) into ``buffer``."""
+        obs = env.reset()
+        total = 0.0
+        for _ in range(max_steps):
+            mask = env.action_mask()
+            action, logp = self.act(obs, mask=mask)
+            value = float(self.value_fn.predict(obs)[0])
+            next_obs, reward, done, _ = env.step(action)
+            buffer.add(Transition(obs=obs, action=action, reward=reward,
+                                  done=done, log_prob=logp, value=value, mask=mask))
+            total += reward
+            obs = next_obs
+            if done:
+                return total
+        buffer.end_episode()
+        return total
+
+    def update(self, buffer: RolloutBuffer) -> Dict[str, float]:
+        """One actor and one critic gradient step over the batch."""
+        cfg = self.config
+        episodes = buffer.episodes()
+        if not episodes:
+            raise ValueError("no episodes to update from")
+
+        obs_list, act_list, adv_list, tgt_list, mask_list = [], [], [], [], []
+        for ep in episodes:
+            rewards = np.array([t.reward for t in ep])
+            values = np.array([t.value for t in ep])
+            adv = gae_advantages(rewards, values, cfg.gamma, cfg.gae_lambda)
+            targets = adv + values
+            adv_list.append(adv)
+            tgt_list.append(targets)
+            obs_list.extend(t.obs for t in ep)
+            act_list.extend(t.action for t in ep)
+            mask_list.extend(t.mask if t.mask is not None else None for t in ep)
+
+        obs = np.stack(obs_list)
+        actions = np.array(act_list, dtype=np.intp)
+        advantages = np.concatenate(adv_list)
+        targets = np.concatenate(tgt_list)
+        masks = np.stack(mask_list) if mask_list and mask_list[0] is not None else None
+
+        if cfg.normalize:
+            advantages = normalize_advantages(advantages)
+
+        self.policy.zero_grad()
+        pg_loss, entropy = self.policy.policy_gradient_step(
+            obs, actions, advantages, masks=masks, entropy_coef=cfg.entropy_coef
+        )
+        grad_norm = clip_gradients_(self.policy.grads(), cfg.max_grad_norm)
+        self.optimizer.step()
+
+        self.value_fn.zero_grad()
+        value_loss = self.value_fn.mse_step(obs, targets)
+        clip_gradients_(self.value_fn.grads(), cfg.max_grad_norm)
+        self.value_opt.step()
+
+        return {
+            "pg_loss": pg_loss,
+            "value_loss": value_loss,
+            "entropy": entropy,
+            "grad_norm": grad_norm,
+        }
+
+    def train(
+        self,
+        env: Env,
+        iterations: int,
+        episodes_per_iter: int = 4,
+        max_steps: int = 1000,
+    ) -> List[Dict[str, float]]:
+        """Standard training loop; returns per-iteration stat dicts."""
+        history: List[Dict[str, float]] = []
+        for _ in range(iterations):
+            buffer = RolloutBuffer()
+            ep_returns = [
+                self.collect_episode(env, buffer, max_steps)
+                for _ in range(episodes_per_iter)
+            ]
+            stats = self.update(buffer)
+            stats["episode_return"] = float(np.mean(ep_returns))
+            history.append(stats)
+        return history

@@ -1,0 +1,36 @@
+"""Environment protocol.
+
+A trimmed Gym-style API plus one addition the scheduling domain needs:
+``action_mask()`` — the set of currently-valid actions. All agents in
+:mod:`repro.rl` respect masks, which is essential for the composite
+scheduling action space where most actions are invalid most of the time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.rl.spaces import Box, Discrete
+
+__all__ = ["Env"]
+
+
+class Env:
+    """Abstract episodic environment with masked discrete actions."""
+
+    observation_space: Box
+    action_space: Discrete
+
+    def reset(self, seed: Optional[int] = None) -> np.ndarray:
+        """Start a new episode; returns the initial observation."""
+        raise NotImplementedError
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        """Apply ``action``; returns ``(obs, reward, done, info)``."""
+        raise NotImplementedError
+
+    def action_mask(self) -> np.ndarray:
+        """Boolean validity mask over the action space (default: all valid)."""
+        return np.ones(self.action_space.n, dtype=bool)

@@ -1,0 +1,125 @@
+"""Proportional prioritized experience replay (Schaul et al., 2016).
+
+Transitions are sampled with probability proportional to
+``(|td_error| + eps) ** alpha`` and the induced bias is corrected by
+importance-sampling weights annealed by ``beta``. Sampling uses a
+vectorized cumulative-sum search over the priority array — O(n) per
+batch, which at the buffer sizes used here (<= 10^5) is faster in NumPy
+than a Python-object sum-tree and has no per-transition allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.rl.schedules import LinearSchedule, Schedule
+
+__all__ = ["PrioritizedReplayBuffer"]
+
+
+class PrioritizedReplayBuffer:
+    """Fixed-capacity proportional-PER over preallocated NumPy storage.
+
+    Same transition layout as :class:`~repro.rl.replay.ReplayBuffer`
+    (masked next-state support for the scheduler MDP), plus per-slot
+    priorities. New transitions enter at the current maximum priority so
+    everything is replayed at least once.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        obs_dim: int,
+        n_actions: int,
+        alpha: float = 0.6,
+        beta: Optional[Schedule] = None,
+        eps: float = 1e-3,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if obs_dim <= 0 or n_actions <= 0:
+            raise ValueError("obs_dim and n_actions must be positive")
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.capacity = capacity
+        self.alpha = alpha
+        self.eps = eps
+        self.beta = beta if beta is not None else LinearSchedule(0.4, 1.0, 100_000)
+        self.obs = np.zeros((capacity, obs_dim))
+        self.next_obs = np.zeros((capacity, obs_dim))
+        self.actions = np.zeros(capacity, dtype=np.intp)
+        self.rewards = np.zeros(capacity)
+        self.dones = np.zeros(capacity, dtype=bool)
+        self.next_masks = np.ones((capacity, n_actions), dtype=bool)
+        self.priorities = np.zeros(capacity)
+        self._max_priority = 1.0
+        self._size = 0
+        self._head = 0
+        self._samples_drawn = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(
+        self,
+        obs: np.ndarray,
+        action: int,
+        reward: float,
+        next_obs: np.ndarray,
+        done: bool,
+        next_mask: np.ndarray,
+    ) -> None:
+        i = self._head
+        self.obs[i] = obs
+        self.actions[i] = action
+        self.rewards[i] = reward
+        self.next_obs[i] = next_obs
+        self.dones[i] = done
+        self.next_masks[i] = next_mask
+        self.priorities[i] = self._max_priority
+        self._head = (self._head + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        """Priority-proportional minibatch with IS weights.
+
+        The returned dict adds ``weights`` (max-normalized, in (0, 1])
+        and ``indices`` (for :meth:`update_priorities`) to the usual
+        transition arrays.
+        """
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        probs = self.priorities[: self._size] ** self.alpha
+        total = probs.sum()
+        if total <= 0:  # pragma: no cover - priorities are always > 0
+            probs = np.full(self._size, 1.0 / self._size)
+        else:
+            probs = probs / total
+        # With-replacement draws are standard for proportional PER.
+        idx = rng.choice(self._size, size=batch_size, p=probs, replace=True)
+        beta = self.beta(self._samples_drawn)
+        self._samples_drawn += batch_size
+        weights = (self._size * probs[idx]) ** (-beta)
+        weights = weights / weights.max()
+        return {
+            "obs": self.obs[idx],
+            "actions": self.actions[idx],
+            "rewards": self.rewards[idx],
+            "next_obs": self.next_obs[idx],
+            "dones": self.dones[idx],
+            "next_masks": self.next_masks[idx],
+            "weights": weights,
+            "indices": idx,
+        }
+
+    def update_priorities(self, indices: np.ndarray, td_errors: np.ndarray) -> None:
+        """Refresh priorities after a gradient step (``|delta| + eps``)."""
+        if len(indices) != len(td_errors):
+            raise ValueError("indices and td_errors must align")
+        new = np.abs(np.asarray(td_errors, dtype=float)) + self.eps
+        self.priorities[np.asarray(indices, dtype=np.intp)] = new
+        self._max_priority = max(self._max_priority, float(new.max()))

@@ -1,0 +1,86 @@
+"""On-policy rollout storage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["Transition", "RolloutBuffer"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One environment step as stored during a rollout."""
+
+    obs: np.ndarray
+    action: int
+    reward: float
+    done: bool
+    log_prob: float
+    value: float = 0.0
+    mask: Optional[np.ndarray] = None
+
+
+class RolloutBuffer:
+    """Accumulates transitions for one or more episodes, then batches them.
+
+    ``episodes()`` yields per-episode slices (REINFORCE needs full-episode
+    returns); ``batch()`` concatenates everything (A2C/PPO operate on the
+    flat batch with per-step dones).
+    """
+
+    def __init__(self) -> None:
+        self._transitions: List[Transition] = []
+        self._episode_bounds: List[int] = [0]
+
+    def add(self, transition: Transition) -> None:
+        self._transitions.append(transition)
+        if transition.done:
+            self._episode_bounds.append(len(self._transitions))
+
+    def end_episode(self) -> None:
+        """Force an episode boundary (for truncated, non-done episodes)."""
+        if self._episode_bounds[-1] != len(self._transitions):
+            self._episode_bounds.append(len(self._transitions))
+
+    def __len__(self) -> int:
+        return len(self._transitions)
+
+    @property
+    def num_episodes(self) -> int:
+        return len(self._episode_bounds) - 1
+
+    def episodes(self) -> List[List[Transition]]:
+        """Per-episode transition lists (trailing partial episode included)."""
+        bounds = list(self._episode_bounds)
+        if bounds[-1] != len(self._transitions):
+            bounds.append(len(self._transitions))
+        return [
+            self._transitions[bounds[i] : bounds[i + 1]]
+            for i in range(len(bounds) - 1)
+            if bounds[i + 1] > bounds[i]
+        ]
+
+    def batch(self) -> Dict[str, np.ndarray]:
+        """Flat arrays over every stored transition."""
+        if not self._transitions:
+            raise ValueError("empty rollout buffer")
+        obs = np.stack([t.obs for t in self._transitions])
+        masks = None
+        if self._transitions[0].mask is not None:
+            masks = np.stack([t.mask for t in self._transitions])
+        return {
+            "obs": obs,
+            "actions": np.array([t.action for t in self._transitions], dtype=np.intp),
+            "rewards": np.array([t.reward for t in self._transitions]),
+            "dones": np.array([t.done for t in self._transitions], dtype=bool),
+            "log_probs": np.array([t.log_prob for t in self._transitions]),
+            "values": np.array([t.value for t in self._transitions]),
+            "masks": masks,
+        }
+
+    def clear(self) -> None:
+        self._transitions.clear()
+        self._episode_bounds = [0]

@@ -1,0 +1,45 @@
+"""Running mean/variance normalizer (Welford/Chan parallel update).
+
+Observation features in the scheduler state span very different scales
+(slack in ticks vs. normalized occupancy); online normalization keeps
+the policy network conditioning stable across load regimes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["RunningMeanStd"]
+
+
+class RunningMeanStd:
+    """Tracks elementwise mean and variance of streaming batches."""
+
+    def __init__(self, shape: Tuple[int, ...], eps: float = 1e-4) -> None:
+        self.mean = np.zeros(shape)
+        self.var = np.ones(shape)
+        self.count = eps
+
+    def update(self, batch: np.ndarray) -> None:
+        """Fold one batch (leading axis = samples) into the statistics."""
+        batch = np.atleast_2d(np.asarray(batch, dtype=np.float64))
+        batch_mean = batch.mean(axis=0)
+        batch_var = batch.var(axis=0)
+        batch_count = batch.shape[0]
+        # Chan et al. parallel-variance combination.
+        delta = batch_mean - self.mean
+        total = self.count + batch_count
+        new_mean = self.mean + delta * batch_count / total
+        m_a = self.var * self.count
+        m_b = batch_var * batch_count
+        m2 = m_a + m_b + delta * delta * self.count * batch_count / total
+        self.mean = new_mean
+        self.var = m2 / total
+        self.count = total
+
+    def normalize(self, x: np.ndarray, clip: float = 10.0) -> np.ndarray:
+        """Standardize ``x`` with the running stats, clipped to ``±clip``."""
+        z = (np.asarray(x, dtype=np.float64) - self.mean) / np.sqrt(self.var + 1e-8)
+        return np.clip(z, -clip, clip)

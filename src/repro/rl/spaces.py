@@ -1,0 +1,78 @@
+"""Action/observation spaces (minimal Gym-compatible subset)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Discrete", "Box"]
+
+
+class Discrete:
+    """Finite action set ``{0, ..., n-1}``."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+
+    def contains(self, x) -> bool:
+        try:
+            xi = int(x)
+        except (TypeError, ValueError):
+            return False
+        return 0 <= xi < self.n and float(x) == xi
+
+    def sample(self, rng: np.random.Generator, mask: Optional[np.ndarray] = None) -> int:
+        """Uniform sample, optionally restricted to ``mask``-valid actions."""
+        if mask is None:
+            return int(rng.integers(self.n))
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n,):
+            raise ValueError(f"mask shape {mask.shape} != ({self.n},)")
+        valid = np.flatnonzero(mask)
+        if valid.size == 0:
+            raise ValueError("no valid action under mask")
+        return int(rng.choice(valid))
+
+    def __repr__(self) -> str:
+        return f"Discrete({self.n})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Discrete) and other.n == self.n
+
+
+class Box:
+    """Real-valued observation space with elementwise bounds."""
+
+    def __init__(self, low: float, high: float, shape: Tuple[int, ...]) -> None:
+        if high <= low:
+            raise ValueError("high must exceed low")
+        if any(s <= 0 for s in shape):
+            raise ValueError("shape entries must be positive")
+        self.low = float(low)
+        self.high = float(high)
+        self.shape = tuple(shape)
+
+    def contains(self, x) -> bool:
+        arr = np.asarray(x)
+        return (
+            arr.shape == self.shape
+            and bool(np.all(arr >= self.low - 1e-9))
+            and bool(np.all(arr <= self.high + 1e-9))
+        )
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=self.shape)
+
+    def __repr__(self) -> str:
+        return f"Box({self.low}, {self.high}, {self.shape})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Box)
+            and other.low == self.low
+            and other.high == self.high
+            and other.shape == self.shape
+        )

@@ -1,0 +1,98 @@
+"""Cluster energy accounting.
+
+Heterogeneous platforms differ not only in speed but in power draw —
+an accelerator unit that is 4x faster may burn 3x the watts, so
+"finish everything on the fast platform" is not free. The meter uses
+the standard linear utilization power model:
+
+    P(platform) = online_units * idle_power + busy_units * (busy_power - idle_power)
+
+i.e. every *online* unit pays its idle floor, and each *allocated* unit
+additionally pays the dynamic delta. Offline (failed) units draw
+nothing. Energy is the tick-sum of power (unit: power-ticks; with a
+one-second tick and watts this is joules).
+
+Experiment E14 compares schedulers on energy-per-completed-job and on
+the energy-delay product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+__all__ = ["PowerModel", "EnergyMeter"]
+
+from repro.sim.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-unit power parameters of one platform.
+
+    Parameters
+    ----------
+    idle_power:
+        Draw of one online-but-unallocated unit (static floor).
+    busy_power:
+        Draw of one allocated unit. Must be >= ``idle_power``.
+    """
+
+    idle_power: float = 0.2
+    busy_power: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.idle_power < 0:
+            raise ValueError("idle_power must be non-negative")
+        if self.busy_power < self.idle_power:
+            raise ValueError("busy_power must be >= idle_power")
+
+    def power(self, online: int, busy: int) -> float:
+        """Instantaneous platform power with ``online`` units, ``busy`` allocated."""
+        if busy > online:
+            raise ValueError("busy units cannot exceed online units")
+        return online * self.idle_power + busy * (self.busy_power - self.idle_power)
+
+
+class EnergyMeter:
+    """Accumulates per-tick energy for a cluster.
+
+    Parameters
+    ----------
+    models:
+        Mapping platform name -> :class:`PowerModel`. Platforms absent
+        from the mapping use the default model.
+    """
+
+    def __init__(self, models: Optional[Mapping[str, PowerModel]] = None) -> None:
+        self.models: Dict[str, PowerModel] = dict(models) if models else {}
+        self.total_energy: float = 0.0
+        self.per_platform: Dict[str, float] = {}
+        self.power_series: List[float] = []
+
+    def model_for(self, platform: str) -> PowerModel:
+        """The power model used for a platform (default if unconfigured)."""
+        return self.models.get(platform, PowerModel())
+
+    def step(self, cluster: Cluster) -> float:
+        """Meter one tick; returns the cluster power drawn during it."""
+        tick_power = 0.0
+        for name, platform in cluster.platforms.items():
+            online = platform.capacity - cluster.offline_units(name)
+            busy = cluster.used_units(name)
+            p = self.model_for(name).power(online, busy)
+            self.per_platform[name] = self.per_platform.get(name, 0.0) + p
+            tick_power += p
+        self.total_energy += tick_power
+        self.power_series.append(tick_power)
+        return tick_power
+
+    def energy_per_job(self, num_finished: int) -> float:
+        """Mean energy per completed job (``inf`` when nothing finished)."""
+        if num_finished <= 0:
+            return float("inf")
+        return self.total_energy / num_finished
+
+    def energy_delay_product(self, mean_jct: float) -> float:
+        """Energy x mean JCT — the classic efficiency/performance composite."""
+        return self.total_energy * mean_jct

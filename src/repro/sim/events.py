@@ -1,0 +1,77 @@
+"""Structured event log.
+
+Every state transition in the simulator is appended here, giving tests a
+ground-truth trace to assert against and giving experiment E7 its
+utilization timeline without re-instrumenting the simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["EventKind", "Event", "EventLog"]
+
+
+class EventKind(enum.Enum):
+    """Types of simulator events."""
+
+    ARRIVAL = "arrival"
+    START = "start"
+    GROW = "grow"
+    SHRINK = "shrink"
+    FINISH = "finish"
+    MISS = "miss"          # deadline passed (job may still be running/queued)
+    DROP = "drop"          # job abandoned (drop_on_miss policies)
+    TICK = "tick"          # time advanced
+    FAIL = "fail"          # a resource unit went offline (fault injection)
+    REPAIR = "repair"      # an offline unit came back
+    PREEMPT = "preempt"    # a running job was evicted back to the queue
+    MIGRATE = "migrate"    # a running job moved to a different platform
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped simulator event."""
+
+    time: int
+    kind: EventKind
+    job_id: Optional[int] = None
+    platform: Optional[str] = None
+    parallelism: Optional[int] = None
+    detail: str = ""
+
+
+@dataclass
+class EventLog:
+    """Append-only event trace with simple query helpers."""
+
+    events: List[Event] = field(default_factory=list)
+
+    def record(self, event: Event) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def of_kind(self, kind: EventKind) -> List[Event]:
+        """All events of one kind, in time order."""
+        return [e for e in self.events if e.kind is kind]
+
+    def for_job(self, job_id: int) -> List[Event]:
+        """All events touching one job, in time order."""
+        return [e for e in self.events if e.job_id == job_id]
+
+    def counts(self) -> Dict[EventKind, int]:
+        """Histogram of event kinds."""
+        out: Dict[EventKind, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        self.events.clear()

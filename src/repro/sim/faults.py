@@ -1,0 +1,165 @@
+"""Machine failure / repair injection.
+
+Time-critical deployments must survive resource loss: a unit that fails
+mid-run takes its job down with it, and the scheduler's headroom shrinks
+until repair. The paper's testbed hardware faults are substituted by a
+memoryless per-unit failure/repair process (the standard reliability
+abstraction): each *online* unit fails within a tick with probability
+``1 / mtbf`` and each *offline* unit is repaired with probability
+``1 / mttr``, giving geometric time-between-failure and time-to-repair
+with the configured means.
+
+When a failure lands on a platform whose free pool is empty, a running
+job on that platform is chosen uniformly at random as the victim and
+preempted (checkpoint-on-preempt: progress is retained, the job returns
+to the pending queue, and the freed unit goes offline).
+
+Experiment E13 drives this model: schedulers are compared under
+increasing fault pressure, expecting elasticity-compatible policies to
+degrade most gracefully (they can re-pack survivors into the shrunken
+cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.sim.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulation import Simulation
+
+__all__ = ["FaultModel", "FaultInjector", "FaultStats"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Reliability parameters of one platform's units.
+
+    Parameters
+    ----------
+    mtbf:
+        Mean ticks between failures of a single online unit. ``inf``
+        disables failures.
+    mttr:
+        Mean ticks to repair one offline unit. Must be finite and >= 1,
+        so injected faults always heal eventually.
+    """
+
+    mtbf: float = float("inf")
+    mttr: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.mtbf <= 0:
+            raise ValueError("mtbf must be positive (use inf to disable)")
+        if not np.isfinite(self.mttr) or self.mttr < 1:
+            raise ValueError("mttr must be finite and >= 1")
+
+    @property
+    def fail_prob(self) -> float:
+        """Per-tick failure probability of one online unit."""
+        return 0.0 if np.isinf(self.mtbf) else min(1.0, 1.0 / self.mtbf)
+
+    @property
+    def repair_prob(self) -> float:
+        """Per-tick repair probability of one offline unit."""
+        return min(1.0, 1.0 / self.mttr)
+
+
+@dataclass
+class FaultStats:
+    """Counters accumulated by a :class:`FaultInjector` over a run."""
+
+    failures: int = 0
+    repairs: int = 0
+    preemptions: int = 0
+    downtime_unit_ticks: int = 0
+    per_platform_failures: Dict[str, int] = field(default_factory=dict)
+
+    def record_failures(self, platform: str, n: int) -> None:
+        self.failures += n
+        self.per_platform_failures[platform] = (
+            self.per_platform_failures.get(platform, 0) + n
+        )
+
+
+class FaultInjector:
+    """Samples unit failures/repairs each tick and preempts victim jobs.
+
+    Parameters
+    ----------
+    models:
+        Mapping platform name -> :class:`FaultModel`. Platforms absent
+        from the mapping never fail.
+    rng:
+        Source of randomness; pass a seeded ``Generator`` for
+        reproducible fault traces.
+    """
+
+    def __init__(
+        self,
+        models: Mapping[str, FaultModel],
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.models: Dict[str, FaultModel] = dict(models)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.stats = FaultStats()
+
+    def step(self, sim: "Simulation") -> List[Job]:
+        """Apply one tick of the failure/repair process to ``sim``.
+
+        Returns the jobs preempted by failures this tick (already
+        re-queued into ``sim.pending``).
+        """
+        victims: List[Job] = []
+        cluster = sim.cluster
+        for name in cluster.platform_names:
+            model = self.models.get(name)
+            if model is None:
+                continue
+            victims.extend(self._fail_units(sim, name, model))
+            self._repair_units(sim, name, model)
+            self.stats.downtime_unit_ticks += cluster.offline_units(name)
+        return victims
+
+    # --- internals ---------------------------------------------------------
+    def _fail_units(self, sim: "Simulation", name: str, model: FaultModel) -> List[Job]:
+        cluster = sim.cluster
+        online = cluster.platforms[name].capacity - cluster.offline_units(name)
+        if online <= 0 or model.fail_prob == 0.0:
+            return []
+        n_fail = int(self.rng.binomial(online, model.fail_prob))
+        if n_fail == 0:
+            return []
+        victims: List[Job] = []
+        for _ in range(n_fail):
+            if cluster.free_units(name) == 0:
+                victim = self._pick_victim(sim, name)
+                if victim is None:
+                    break  # platform fully offline already
+                cluster.preempt(victim, now=sim.now)
+                sim.pending.append(victim)
+                victims.append(victim)
+                self.stats.preemptions += 1
+            cluster.take_offline(name, 1, now=sim.now)
+            self.stats.record_failures(name, 1)
+        return victims
+
+    def _repair_units(self, sim: "Simulation", name: str, model: FaultModel) -> None:
+        offline = sim.cluster.offline_units(name)
+        if offline <= 0:
+            return
+        n_repair = int(self.rng.binomial(offline, model.repair_prob))
+        if n_repair > 0:
+            sim.cluster.bring_online(name, n_repair, now=sim.now)
+            self.stats.repairs += n_repair
+
+    def _pick_victim(self, sim: "Simulation", name: str) -> Optional[Job]:
+        candidates = [j for j in sim.cluster.running_jobs() if j.platform == name]
+        if not candidates:
+            return None
+        idx = int(self.rng.integers(len(candidates)))
+        return candidates[idx]

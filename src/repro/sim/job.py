@@ -1,0 +1,147 @@
+"""Malleable, deadline-carrying job model.
+
+A job is *elastic*: it may run with any integer parallelism in
+``[min_parallelism, max_parallelism]`` and the allocation may be grown or
+shrunk while it runs. Its progress rate on platform ``p`` with ``k``
+units is ``affinity[p] * platform.base_speed * speedup(k)`` reference
+units per tick; it completes when cumulative progress reaches ``work``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sim.speedup import LinearSpeedup, SpeedupModel
+
+__all__ = ["Job", "JobState"]
+
+_job_counter = itertools.count()
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job inside the simulator."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    FINISHED = "finished"
+    DROPPED = "dropped"
+
+
+@dataclass
+class Job:
+    """One unit of time-critical work submitted to the cluster.
+
+    Parameters
+    ----------
+    arrival_time:
+        Tick at which the job enters the pending queue.
+    work:
+        Service demand in reference unit-ticks (progress needed).
+    deadline:
+        Absolute tick by which the job should finish. ``finish > deadline``
+        is a deadline miss.
+    min_parallelism / max_parallelism:
+        Elasticity range. ``min == max`` models a *rigid* job.
+    speedup_model:
+        Parallel scaling law (see :mod:`repro.sim.speedup`).
+    affinity:
+        Mapping platform name -> speed factor. Platforms absent from the
+        mapping cannot run the job. Values must be positive.
+    job_class:
+        Workload-class label (used by metrics breakdowns and the state
+        encoder), e.g. ``"tc-gpu"`` for time-critical accelerator jobs.
+    weight:
+        Relative importance in the slowdown-shaped reward (default 1).
+    """
+
+    arrival_time: int
+    work: float
+    deadline: float
+    min_parallelism: int = 1
+    max_parallelism: int = 1
+    speedup_model: SpeedupModel = field(default_factory=LinearSpeedup)
+    affinity: Dict[str, float] = field(default_factory=dict)
+    job_class: str = "default"
+    weight: float = 1.0
+    job_id: int = field(default_factory=lambda: next(_job_counter))
+
+    # --- mutable runtime state -------------------------------------------
+    state: JobState = field(default=JobState.PENDING, compare=False)
+    progress: float = field(default=0.0, compare=False)
+    platform: Optional[str] = field(default=None, compare=False)
+    parallelism: int = field(default=0, compare=False)
+    start_time: Optional[int] = field(default=None, compare=False)
+    finish_time: Optional[int] = field(default=None, compare=False)
+    miss_recorded: bool = field(default=False, compare=False)
+    grow_count: int = field(default=0, compare=False)
+    shrink_count: int = field(default=0, compare=False)
+    preempt_count: int = field(default=0, compare=False)
+    migrate_count: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+        if self.work <= 0:
+            raise ValueError("work must be positive")
+        if self.deadline <= self.arrival_time:
+            raise ValueError("deadline must be after arrival")
+        if self.min_parallelism < 1:
+            raise ValueError("min_parallelism must be >= 1")
+        if self.max_parallelism < self.min_parallelism:
+            raise ValueError("max_parallelism must be >= min_parallelism")
+        if not self.affinity:
+            raise ValueError("job must be runnable on at least one platform")
+        for name, factor in self.affinity.items():
+            if factor <= 0:
+                raise ValueError(f"affinity for {name!r} must be positive")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+    # --- derived quantities ----------------------------------------------
+    @property
+    def is_elastic(self) -> bool:
+        """Whether the elasticity range is non-degenerate."""
+        return self.max_parallelism > self.min_parallelism
+
+    @property
+    def remaining_work(self) -> float:
+        """Reference unit-ticks still required."""
+        return max(0.0, self.work - self.progress)
+
+    def rate_on(self, platform_name: str, k: int, base_speed: float = 1.0) -> float:
+        """Progress units gained per tick with ``k`` units of ``platform_name``."""
+        if platform_name not in self.affinity:
+            raise ValueError(f"job {self.job_id} cannot run on {platform_name!r}")
+        return self.affinity[platform_name] * base_speed * self.speedup_model.speedup(k)
+
+    def best_case_duration(self, platform_name: str, base_speed: float = 1.0) -> float:
+        """Ticks to finish remaining work at maximum parallelism on a platform."""
+        rate = self.rate_on(platform_name, self.max_parallelism, base_speed)
+        return self.remaining_work / rate
+
+    def slack(self, now: float, platform_name: Optional[str] = None,
+              base_speed: float = 1.0) -> float:
+        """Laxity: time-to-deadline minus best-case remaining duration.
+
+        Negative slack means the deadline is already unachievable even at
+        maximum parallelism. When ``platform_name`` is None the most
+        favourable runnable platform (highest affinity) is assumed —
+        usable before placement.
+        """
+        if platform_name is None:
+            platform_name = max(self.affinity, key=self.affinity.get)
+        return (self.deadline - now) - self.best_case_duration(platform_name, base_speed)
+
+    def deadline_met(self) -> bool:
+        """True iff the job finished at or before its deadline."""
+        return self.finish_time is not None and self.finish_time <= self.deadline
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Job(id={self.job_id}, cls={self.job_class}, arr={self.arrival_time}, "
+            f"work={self.work:.1f}, ddl={self.deadline:.0f}, "
+            f"k∈[{self.min_parallelism},{self.max_parallelism}], state={self.state.value})"
+        )

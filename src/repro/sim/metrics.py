@@ -1,0 +1,209 @@
+"""Scheduling metrics.
+
+The evaluation vocabulary of the paper's domain:
+
+* **deadline miss rate** — fraction of completed-or-dropped jobs that did
+  not finish by their deadline (the headline time-critical metric),
+* **slowdown** — (finish - arrival) / ideal_duration, DeepRM's objective,
+* **tardiness** — max(0, finish - deadline), and its mean over all jobs,
+* **utilization** — time-averaged fraction of cluster units in use,
+* **JCT / makespan / throughput** — standard cluster-scheduling metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.job import Job, JobState
+
+__all__ = ["JobRecord", "MetricsReport", "compute_metrics", "jain_fairness"]
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index over non-negative allocations/slowdowns.
+
+    ``(sum x)^2 / (n * sum x^2)`` — 1.0 when all values are equal,
+    ``1/n`` when one value dominates. Applied here to per-class mean
+    slowdowns: a scheduler that serves one class at the expense of
+    another scores low even if its aggregate slowdown looks fine.
+    """
+    x = np.asarray(list(values), dtype=float)
+    if x.size == 0:
+        return 1.0
+    if np.any(x < 0):
+        raise ValueError("fairness values must be non-negative")
+    denom = x.size * float(np.sum(x * x))
+    if denom == 0.0:
+        return 1.0
+    return float(np.sum(x)) ** 2 / denom
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Immutable per-job outcome extracted after a simulation run."""
+
+    job_id: int
+    job_class: str
+    arrival: int
+    deadline: float
+    work: float
+    finish: Optional[float]          # None => never finished (dropped/still pending)
+    ideal_duration: float            # best-case duration at max parallelism on best platform
+    missed: bool
+    dropped: bool
+    weight: float = 1.0
+
+    @property
+    def jct(self) -> Optional[float]:
+        """Job completion time (None if unfinished)."""
+        if self.finish is None:
+            return None
+        return self.finish - self.arrival
+
+    @property
+    def slowdown(self) -> Optional[float]:
+        """JCT normalized by ideal duration (>= 1 for feasible placements)."""
+        if self.finish is None:
+            return None
+        return (self.finish - self.arrival) / max(self.ideal_duration, 1e-9)
+
+    @property
+    def tardiness(self) -> float:
+        """Lateness beyond the deadline; 0 when met or unfinished-but-dropped."""
+        if self.finish is None:
+            return 0.0
+        return max(0.0, self.finish - self.deadline)
+
+
+def record_from_job(job: Job, platforms: Dict[str, float]) -> JobRecord:
+    """Build a :class:`JobRecord` from a simulated job.
+
+    ``platforms`` maps platform name -> base_speed (for the ideal-duration
+    denominator: best runnable platform at max parallelism).
+    """
+    best_rate = max(
+        job.affinity[name] * base_speed * job.speedup_model.speedup(job.max_parallelism)
+        for name, base_speed in platforms.items()
+        if name in job.affinity
+    )
+    ideal = job.work / best_rate
+    finished = job.state is JobState.FINISHED
+    dropped = job.state is JobState.DROPPED
+    finish = float(job.finish_time) if finished and job.finish_time is not None else None
+    missed = (finish is None and (dropped or job.miss_recorded)) or (
+        finish is not None and finish > job.deadline
+    )
+    return JobRecord(
+        job_id=job.job_id,
+        job_class=job.job_class,
+        arrival=job.arrival_time,
+        deadline=job.deadline,
+        work=job.work,
+        finish=finish,
+        ideal_duration=ideal,
+        missed=missed,
+        dropped=dropped,
+        weight=job.weight,
+    )
+
+
+@dataclass
+class MetricsReport:
+    """Aggregate metrics over one simulation run."""
+
+    num_jobs: int
+    num_finished: int
+    num_missed: int
+    num_dropped: int
+    miss_rate: float
+    mean_slowdown: float
+    p95_slowdown: float
+    mean_jct: float
+    mean_tardiness: float
+    makespan: float
+    throughput: float
+    mean_utilization: float
+    class_fairness: float = 1.0     # Jain index over per-class mean slowdowns
+    per_class_miss_rate: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict for CSV/table emission (per-class keys prefixed)."""
+        out = {
+            "num_jobs": self.num_jobs,
+            "num_finished": self.num_finished,
+            "num_missed": self.num_missed,
+            "num_dropped": self.num_dropped,
+            "miss_rate": self.miss_rate,
+            "mean_slowdown": self.mean_slowdown,
+            "p95_slowdown": self.p95_slowdown,
+            "mean_jct": self.mean_jct,
+            "mean_tardiness": self.mean_tardiness,
+            "makespan": self.makespan,
+            "throughput": self.throughput,
+            "mean_utilization": self.mean_utilization,
+            "class_fairness": self.class_fairness,
+        }
+        for cls, rate in sorted(self.per_class_miss_rate.items()):
+            out[f"miss_rate[{cls}]"] = rate
+        return out
+
+
+def compute_metrics(
+    records: Sequence[JobRecord],
+    utilization_series: Optional[Sequence[float]] = None,
+    horizon: Optional[float] = None,
+) -> MetricsReport:
+    """Aggregate job records into a :class:`MetricsReport`.
+
+    ``utilization_series`` is the per-tick cluster utilization (E7's
+    timeline); ``horizon`` overrides the makespan used for throughput.
+    """
+    if not records:
+        return MetricsReport(
+            num_jobs=0, num_finished=0, num_missed=0, num_dropped=0,
+            miss_rate=0.0, mean_slowdown=0.0, p95_slowdown=0.0, mean_jct=0.0,
+            mean_tardiness=0.0, makespan=0.0, throughput=0.0,
+            mean_utilization=0.0,
+        )
+    finished = [r for r in records if r.finish is not None]
+    missed = [r for r in records if r.missed]
+    dropped = [r for r in records if r.dropped]
+    slowdowns = np.array([r.slowdown for r in finished]) if finished else np.array([0.0])
+    jcts = np.array([r.jct for r in finished]) if finished else np.array([0.0])
+    tard = np.array([r.tardiness for r in records])
+    finishes = [r.finish for r in finished]
+    makespan = float(max(finishes)) if finishes else 0.0
+    if horizon is not None:
+        makespan = max(makespan, float(horizon))
+    util = float(np.mean(utilization_series)) if utilization_series is not None and len(utilization_series) else 0.0
+
+    per_class: Dict[str, float] = {}
+    class_slowdowns = []
+    classes = sorted({r.job_class for r in records})
+    for cls in classes:
+        cls_records = [r for r in records if r.job_class == cls]
+        per_class[cls] = sum(r.missed for r in cls_records) / len(cls_records)
+        cls_sd = [r.slowdown for r in cls_records if r.slowdown is not None]
+        if cls_sd:
+            class_slowdowns.append(float(np.mean(cls_sd)))
+    fairness = jain_fairness(class_slowdowns)
+
+    return MetricsReport(
+        num_jobs=len(records),
+        num_finished=len(finished),
+        num_missed=len(missed),
+        num_dropped=len(dropped),
+        miss_rate=len(missed) / len(records),
+        mean_slowdown=float(np.mean(slowdowns)),
+        p95_slowdown=float(np.percentile(slowdowns, 95)),
+        mean_jct=float(np.mean(jcts)),
+        mean_tardiness=float(np.mean(tard)),
+        makespan=makespan,
+        throughput=(len(finished) / makespan) if makespan > 0 else 0.0,
+        mean_utilization=util,
+        class_fairness=fairness,
+        per_class_miss_rate=per_class,
+    )

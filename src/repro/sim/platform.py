@@ -1,0 +1,48 @@
+"""Heterogeneous platform types.
+
+A *platform* is a pool of identical resource units (e.g. "32 CPU-node
+slots", "8 GPU slots", "4 big-memory slots"). Heterogeneity enters the
+model twice:
+
+* platform *capacity* differs (accelerators are scarce), and
+* each job class has a per-platform *affinity* (speed factor), so the
+  same job may run 4x faster on the GPU platform but competes for far
+  fewer units there.
+
+The scheduler's placement decision is therefore a genuine trade-off —
+the crux of experiment E6 (heterogeneity awareness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One homogeneous pool of resource units inside a heterogeneous cluster.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, e.g. ``"cpu"``, ``"gpu"``.
+    capacity:
+        Number of allocatable units in the pool.
+    base_speed:
+        Reference speed multiplier of one unit of this platform for a job
+        with neutral affinity (job affinities multiply on top of this).
+    """
+
+    name: str
+    capacity: int
+    base_speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("platform name must be non-empty")
+        if self.capacity <= 0:
+            raise ValueError("platform capacity must be positive")
+        if self.base_speed <= 0:
+            raise ValueError("platform base_speed must be positive")

@@ -1,0 +1,167 @@
+"""Tick-loop driver combining a job trace, a pending queue, and a cluster.
+
+The per-tick protocol (shared by heuristic baselines and the RL
+environment, so both see *exactly* the same dynamics):
+
+1. jobs with ``arrival_time == now`` move into the pending queue,
+2. the scheduling policy acts (any number of allocate/grow/shrink calls),
+3. utilization for this tick is sampled,
+4. running jobs progress one tick; completions are collected,
+5. time advances; deadline misses are recorded for jobs that are now late
+   (once per job). With ``drop_on_miss`` pending late jobs are abandoned
+   (running ones are always allowed to finish late, accruing tardiness).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence
+
+from repro.sim.cluster import Cluster
+from repro.sim.events import Event, EventKind, EventLog
+from repro.sim.job import Job, JobState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.energy import EnergyMeter
+    from repro.sim.faults import FaultInjector
+from repro.sim.metrics import JobRecord, MetricsReport, compute_metrics, record_from_job
+from repro.sim.platform import Platform
+
+__all__ = ["SimulationConfig", "Simulation"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Static simulation parameters.
+
+    Parameters
+    ----------
+    drop_on_miss:
+        Abandon *pending* jobs once their deadline passes (running jobs
+        always finish, late). Time-critical systems that discard stale
+        work set this True; default False counts tardiness instead.
+    horizon:
+        Hard cap on simulated ticks (safety for RL episodes); ``None``
+        means run until the trace drains.
+    """
+
+    drop_on_miss: bool = False
+    horizon: Optional[int] = None
+
+
+class Simulation:
+    """One simulation run over a fixed job trace."""
+
+    def __init__(
+        self,
+        platforms: Sequence[Platform],
+        jobs: Sequence[Job],
+        config: SimulationConfig = SimulationConfig(),
+        fault_injector: Optional["FaultInjector"] = None,
+        energy_meter: Optional["EnergyMeter"] = None,
+    ) -> None:
+        self.config = config
+        self.log = EventLog()
+        self.cluster = Cluster(platforms, log=self.log)
+        self.fault_injector = fault_injector
+        self.energy_meter = energy_meter
+        # Future jobs sorted by arrival; stable for equal arrivals.
+        self._future: Deque[Job] = deque(sorted(jobs, key=lambda j: (j.arrival_time, j.job_id)))
+        for job in self._future:
+            if job.state is not JobState.PENDING:
+                raise ValueError(f"job {job.job_id} already {job.state.value}")
+        self.pending: List[Job] = []
+        self.completed: List[Job] = []
+        self.dropped: List[Job] = []
+        self.now: int = 0
+        self.utilization_series: List[float] = []
+        self._all_jobs: List[Job] = list(self._future)
+        self._admit_arrivals()
+
+    # --- queue/state views ----------------------------------------------------
+    @property
+    def running(self) -> List[Job]:
+        """Jobs currently executing."""
+        return self.cluster.running_jobs()
+
+    @property
+    def num_future(self) -> int:
+        """Jobs that have not arrived yet."""
+        return len(self._future)
+
+    def is_done(self) -> bool:
+        """True when no work remains or the horizon is exhausted."""
+        if self.config.horizon is not None and self.now >= self.config.horizon:
+            return True
+        return not self._future and not self.pending and not self.running
+
+    # --- tick protocol ----------------------------------------------------------
+    def _admit_arrivals(self) -> None:
+        while self._future and self._future[0].arrival_time <= self.now:
+            job = self._future.popleft()
+            self.pending.append(job)
+            self.log.record(Event(self.now, EventKind.ARRIVAL, job.job_id))
+
+    def sample_utilization(self) -> float:
+        """Record (and return) the cluster utilization for the current tick."""
+        u = self.cluster.utilization()
+        self.utilization_series.append(u)
+        return u
+
+    def advance_tick(self) -> List[Job]:
+        """Steps 3-5 of the tick protocol; returns jobs finished this tick."""
+        if self.fault_injector is not None:
+            self.fault_injector.step(self)
+        self.sample_utilization()
+        if self.energy_meter is not None:
+            self.energy_meter.step(self.cluster)
+        finished = self.cluster.advance(self.now)
+        self.completed.extend(finished)
+        self.now += 1
+        self.log.record(Event(self.now, EventKind.TICK))
+        self._record_misses()
+        self._admit_arrivals()
+        return finished
+
+    def _record_misses(self) -> None:
+        for job in list(self.pending) + self.running:
+            if not job.miss_recorded and self.now > job.deadline:
+                job.miss_recorded = True
+                self.log.record(Event(self.now, EventKind.MISS, job.job_id))
+                if self.config.drop_on_miss and job.state is JobState.PENDING:
+                    job.state = JobState.DROPPED
+                    self.pending.remove(job)
+                    self.dropped.append(job)
+                    self.log.record(Event(self.now, EventKind.DROP, job.job_id))
+
+    # --- convenience ------------------------------------------------------------
+    def run_policy(self, policy, max_ticks: Optional[int] = None) -> MetricsReport:
+        """Drive the simulation to completion under ``policy``.
+
+        ``policy`` must implement ``schedule(sim)`` — called once per tick
+        before time advances (see :mod:`repro.baselines`).
+        """
+        ticks = 0
+        limit = max_ticks if max_ticks is not None else self.config.horizon
+        while not self.is_done():
+            policy.schedule(self)
+            self.advance_tick()
+            ticks += 1
+            if limit is not None and ticks >= limit:
+                break
+        return self.metrics()
+
+    def records(self) -> List[JobRecord]:
+        """Per-job outcome records for all jobs that arrived in the trace."""
+        base_speeds: Dict[str, float] = {
+            name: p.base_speed for name, p in self.cluster.platforms.items()
+        }
+        return [record_from_job(j, base_speeds) for j in self._all_jobs
+                if j.arrival_time <= self.now]
+
+    def metrics(self) -> MetricsReport:
+        """Aggregate metrics at the current point in time."""
+        return compute_metrics(
+            self.records(), utilization_series=self.utilization_series, horizon=self.now
+        )

@@ -1,0 +1,89 @@
+"""Parallel speedup models for malleable (elastic) jobs.
+
+The payoff of an elastic *grow* action is governed by the job's speedup
+curve: allocating ``k`` resource units yields ``speedup(k)`` units of
+progress per tick (scaled by platform affinity). Three standard families
+are provided; all are monotone non-decreasing in ``k`` with
+``speedup(1) == 1`` so that ``work`` is always measured in
+single-unit reference ticks.
+
+Experiment E11 sweeps the Amdahl serial fraction to show how the
+advantage of elasticity-compatible scheduling shrinks as jobs become
+less scalable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SpeedupModel", "LinearSpeedup", "AmdahlSpeedup", "PowerLawSpeedup"]
+
+
+class SpeedupModel:
+    """Protocol: maps a parallelism level to a progress-rate multiplier."""
+
+    def speedup(self, k: int) -> float:
+        raise NotImplementedError
+
+    def efficiency(self, k: int) -> float:
+        """Per-unit efficiency ``speedup(k) / k`` — used by packing heuristics."""
+        if k <= 0:
+            raise ValueError("parallelism must be positive")
+        return self.speedup(k) / k
+
+    def marginal_gain(self, k: int) -> float:
+        """Progress gained by adding one more unit at parallelism ``k``."""
+        return self.speedup(k + 1) - self.speedup(k)
+
+    def _check(self, k: int) -> None:
+        if not isinstance(k, (int,)) or isinstance(k, bool):
+            raise TypeError("parallelism must be an int")
+        if k <= 0:
+            raise ValueError("parallelism must be positive")
+
+
+@dataclass(frozen=True)
+class LinearSpeedup(SpeedupModel):
+    """Perfectly scalable job: ``speedup(k) = k`` (embarrassingly parallel)."""
+
+    def speedup(self, k: int) -> float:
+        self._check(k)
+        return float(k)
+
+
+@dataclass(frozen=True)
+class AmdahlSpeedup(SpeedupModel):
+    """Amdahl's law with serial fraction ``sigma``.
+
+    ``speedup(k) = 1 / (sigma + (1 - sigma) / k)``. ``sigma=0`` recovers
+    linear scaling; ``sigma=1`` means no benefit from parallelism.
+    """
+
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sigma <= 1.0:
+            raise ValueError("serial fraction sigma must be in [0, 1]")
+
+    def speedup(self, k: int) -> float:
+        self._check(k)
+        return 1.0 / (self.sigma + (1.0 - self.sigma) / k)
+
+
+@dataclass(frozen=True)
+class PowerLawSpeedup(SpeedupModel):
+    """Power-law scaling ``speedup(k) = k**alpha`` with ``alpha in (0, 1]``.
+
+    A common empirical fit for data-parallel analytics/ML jobs whose
+    scaling degrades smoothly rather than saturating hard.
+    """
+
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+
+    def speedup(self, k: int) -> float:
+        self._check(k)
+        return float(k) ** self.alpha

@@ -1,0 +1,32 @@
+"""Workload substrate: arrival processes, job classes, synthetic traces.
+
+The paper's evaluation workloads (production time-critical traces) are not
+available offline; this package provides the documented substitution — a
+controllable synthetic generator with Poisson and bursty (Markov-modulated)
+arrivals, heavy-tailed service demands, per-class platform affinities, and
+a deadline-tightness dial. See DESIGN.md §1 "Substitutions".
+"""
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DeterministicArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+from repro.workload.classes import JobClass, default_job_classes
+from repro.workload.generator import (
+    WorkloadConfig,
+    arrival_rate_for_load,
+    generate_trace,
+    offered_load,
+)
+from repro.workload.traces import load_trace, save_trace
+
+__all__ = [
+    "ArrivalProcess", "PoissonArrivals", "BurstyArrivals",
+    "DiurnalArrivals", "DeterministicArrivals",
+    "JobClass", "default_job_classes",
+    "WorkloadConfig", "generate_trace", "offered_load", "arrival_rate_for_load",
+    "save_trace", "load_trace",
+]

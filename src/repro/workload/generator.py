@@ -1,0 +1,117 @@
+"""Synthetic trace generation and offered-load accounting.
+
+``offered_load`` gives the load dial every sweep experiment uses: the
+expected fraction of cluster capacity the trace demands per tick,
+approximating each class's per-unit service rate by the capacity-weighted
+mean over its runnable platforms. It is a *control knob*, not an exact
+queueing quantity — what matters for the experiments is that it is
+monotone in the arrival rate and comparable across schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.job import Job
+from repro.sim.platform import Platform
+from repro.workload.arrivals import ArrivalProcess, PoissonArrivals
+from repro.workload.classes import JobClass, default_job_classes
+
+__all__ = ["WorkloadConfig", "generate_trace", "offered_load", "arrival_rate_for_load"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Everything needed to sample a reproducible trace.
+
+    ``tightness_scale`` multiplies every job's deadline tightness (E4's
+    sweep variable); ``horizon`` is the arrival window in ticks.
+    """
+
+    classes: Sequence[JobClass]
+    horizon: int = 200
+    tightness_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("need at least one job class")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if self.tightness_scale <= 0:
+            raise ValueError("tightness_scale must be positive")
+
+    def mix_probs(self) -> np.ndarray:
+        w = np.array([c.mix_weight for c in self.classes], dtype=float)
+        return w / w.sum()
+
+
+def _class_unit_rate(cls: JobClass, platforms: Sequence[Platform]) -> float:
+    """Capacity-weighted mean per-unit service rate for a class."""
+    total_cap = 0
+    weighted = 0.0
+    for p in platforms:
+        if p.name in cls.affinity:
+            total_cap += p.capacity
+            weighted += cls.affinity[p.name] * p.base_speed * p.capacity
+    if total_cap == 0:
+        raise ValueError(f"class {cls.name!r} runs on no provided platform")
+    return weighted / total_cap
+
+
+def offered_load(
+    arrival_rate: float, config: WorkloadConfig, platforms: Sequence[Platform]
+) -> float:
+    """Expected fraction of cluster unit-capacity demanded per tick."""
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    probs = config.mix_probs()
+    demand_per_arrival = 0.0
+    for prob, cls in zip(probs, config.classes):
+        unit_rate = _class_unit_rate(cls, platforms)
+        demand_per_arrival += prob * cls.mean_work() / unit_rate
+    capacity = sum(p.capacity for p in platforms)
+    return arrival_rate * demand_per_arrival / capacity
+
+
+def arrival_rate_for_load(
+    load: float, config: WorkloadConfig, platforms: Sequence[Platform]
+) -> float:
+    """Invert :func:`offered_load`: the Poisson rate achieving ``load``."""
+    if load <= 0:
+        raise ValueError("load must be positive")
+    unit = offered_load(1.0, config, platforms)
+    return load / unit
+
+
+def generate_trace(
+    config: WorkloadConfig,
+    platforms: Sequence[Platform],
+    rng: np.random.Generator,
+    arrivals: Optional[ArrivalProcess] = None,
+    load: Optional[float] = None,
+) -> List[Job]:
+    """Sample a job trace.
+
+    Exactly one of ``arrivals`` (explicit process) or ``load`` (target
+    offered load, mapped to a Poisson rate) must be given.
+    """
+    if (arrivals is None) == (load is None):
+        raise ValueError("provide exactly one of `arrivals` or `load`")
+    if arrivals is None:
+        arrivals = PoissonArrivals(arrival_rate_for_load(load, config, platforms))
+    times = arrivals.sample(config.horizon, rng)
+    probs = config.mix_probs()
+    base_speeds = {p.name: p.base_speed for p in platforms}
+    class_idx = rng.choice(len(config.classes), size=len(times), p=probs)
+    jobs: List[Job] = []
+    for t, ci in zip(times, class_idx):
+        cls = config.classes[int(ci)]
+        jobs.append(
+            cls.sample_job(
+                int(t), rng, base_speeds, tightness_scale=config.tightness_scale
+            )
+        )
+    return jobs

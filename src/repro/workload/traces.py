@@ -1,0 +1,83 @@
+"""Trace persistence (JSON).
+
+Traces round-trip exactly (modulo runtime state, which is reset on load),
+so a generated workload can be pinned to disk and replayed under every
+scheduler — the comparison experiments rely on this to give all policies
+identical inputs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Sequence
+
+from repro.sim.job import Job
+from repro.sim.speedup import AmdahlSpeedup, LinearSpeedup, PowerLawSpeedup, SpeedupModel
+
+__all__ = ["save_trace", "load_trace"]
+
+
+def _speedup_to_dict(model: SpeedupModel) -> dict:
+    if isinstance(model, AmdahlSpeedup):
+        return {"kind": "amdahl", "sigma": model.sigma}
+    if isinstance(model, PowerLawSpeedup):
+        return {"kind": "powerlaw", "alpha": model.alpha}
+    if isinstance(model, LinearSpeedup):
+        return {"kind": "linear"}
+    raise TypeError(f"unsupported speedup model {type(model).__name__}")
+
+
+def _speedup_from_dict(d: dict) -> SpeedupModel:
+    kind = d.get("kind")
+    if kind == "amdahl":
+        return AmdahlSpeedup(float(d["sigma"]))
+    if kind == "powerlaw":
+        return PowerLawSpeedup(float(d["alpha"]))
+    if kind == "linear":
+        return LinearSpeedup()
+    raise ValueError(f"unknown speedup kind {kind!r}")
+
+
+def save_trace(jobs: Sequence[Job], path: str) -> None:
+    """Write a job trace to JSON (static fields only)."""
+    payload = [
+        {
+            "arrival_time": job.arrival_time,
+            "work": job.work,
+            "deadline": job.deadline,
+            "min_parallelism": job.min_parallelism,
+            "max_parallelism": job.max_parallelism,
+            "speedup": _speedup_to_dict(job.speedup_model),
+            "affinity": job.affinity,
+            "job_class": job.job_class,
+            "weight": job.weight,
+        }
+        for job in jobs
+    ]
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+
+
+def load_trace(path: str) -> List[Job]:
+    """Load a trace saved by :func:`save_trace` (fresh runtime state)."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    jobs: List[Job] = []
+    for item in payload:
+        jobs.append(
+            Job(
+                arrival_time=int(item["arrival_time"]),
+                work=float(item["work"]),
+                deadline=float(item["deadline"]),
+                min_parallelism=int(item["min_parallelism"]),
+                max_parallelism=int(item["max_parallelism"]),
+                speedup_model=_speedup_from_dict(item["speedup"]),
+                affinity={k: float(v) for k, v in item["affinity"].items()},
+                job_class=str(item["job_class"]),
+                weight=float(item.get("weight", 1.0)),
+            )
+        )
+    return jobs

@@ -1,0 +1,189 @@
+"""Composite action space: encode/decode bijection, masking, application."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoreConfig
+from repro.core.actions import Action, ActionKind, SchedulingActionSpace, level_to_parallelism
+from repro.sim import JobState, Platform, Simulation, SimulationConfig
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def config():
+    return CoreConfig(queue_slots=3, running_slots=2, horizon=8,
+                      parallelism_levels=(0.0, 0.5, 1.0), actions_per_tick=4)
+
+
+@pytest.fixture
+def space(config):
+    return SchedulingActionSpace(config, ["cpu", "gpu"])
+
+
+@pytest.fixture
+def sim(platforms):
+    jobs = [make_job(arrival=0, deadline=20.0 + i, work=6.0, min_k=1, max_k=4)
+            for i in range(4)]
+    return Simulation(platforms, jobs, SimulationConfig(horizon=100))
+
+
+class TestLayout:
+    def test_action_count(self, space):
+        # 3 slots * 2 platforms * 3 levels + 2*2 elastic + 1 noop
+        assert space.n == 18 + 4 + 1
+
+    def test_noop_is_last(self, space):
+        assert space.noop_index == space.n - 1
+        assert space.decode(space.noop_index).kind is ActionKind.NOOP
+
+    def test_elastic_disabled_removes_grow_shrink(self, config):
+        rigid = CoreConfig(queue_slots=3, running_slots=2, horizon=8,
+                           parallelism_levels=(0.0, 0.5, 1.0),
+                           elastic_actions=False)
+        space = SchedulingActionSpace(rigid, ["cpu", "gpu"])
+        assert space.n == 18 + 1
+        assert space.K == 0
+
+
+class TestEncodeDecode:
+    def test_bijection_over_all_indices(self, space):
+        for idx in range(space.n):
+            action = space.decode(idx)
+            assert space.encode(action) == idx
+
+    def test_decode_out_of_range(self, space):
+        with pytest.raises(ValueError):
+            space.decode(-1)
+        with pytest.raises(ValueError):
+            space.decode(space.n)
+
+    def test_admit_decoding_fields(self, space):
+        action = space.decode(0)
+        assert action == Action(ActionKind.ADMIT, slot=0, platform="cpu", level=0)
+        action = space.decode(5)
+        assert action == Action(ActionKind.ADMIT, slot=0, platform="gpu", level=2)
+
+    def test_grow_shrink_decoding(self, space):
+        grow0 = space.decode(18)
+        shrink1 = space.decode(21)
+        assert grow0.kind is ActionKind.GROW and grow0.slot == 0
+        assert shrink1.kind is ActionKind.SHRINK and shrink1.slot == 1
+
+    def test_encode_rejects_bad_slots(self, space):
+        with pytest.raises(ValueError):
+            space.encode(Action(ActionKind.ADMIT, slot=9, platform="cpu", level=0))
+        with pytest.raises(ValueError):
+            space.encode(Action(ActionKind.GROW, slot=5))
+
+
+class TestLevelMapping:
+    def test_level_fractions(self):
+        job = make_job(min_k=2, max_k=6)
+        assert level_to_parallelism(job, 0.0) == 2
+        assert level_to_parallelism(job, 0.5) == 4
+        assert level_to_parallelism(job, 1.0) == 6
+
+    def test_degenerate_window(self):
+        job = make_job(min_k=3, max_k=3)
+        for frac in (0.0, 0.5, 1.0):
+            assert level_to_parallelism(job, frac) == 3
+
+
+class TestMask:
+    def test_noop_always_valid(self, space, sim):
+        assert space.mask(sim)[space.noop_index]
+
+    def test_empty_queue_masks_admits(self, space, platforms):
+        sim = Simulation(platforms, [], SimulationConfig(horizon=10))
+        mask = space.mask(sim)
+        assert mask.sum() == 1   # only noop
+
+    def test_admit_masked_by_capacity(self, space, platforms):
+        # gpu has 4 units; a job with min 1 max 8 on gpu can use levels
+        # min(1) and mid(4) (fits), but max(8) masked.
+        job = make_job(min_k=1, max_k=8, deadline=50.0, work=4.0,
+                       affinity={"gpu": 1.0})
+        sim = Simulation(platforms, [job], SimulationConfig(horizon=100))
+        mask = space.mask(sim)
+        # slot 0, platform gpu (index 1), levels 0..2 -> indices 3, 4, 5
+        assert not mask[0] and not mask[1] and not mask[2]  # cpu: no affinity
+        assert mask[3]            # gpu min=1
+        assert mask[4]            # gpu mid=4 just fits (capacity 4)
+        assert not mask[5]        # gpu max=8 exceeds capacity
+
+    def test_grow_shrink_masking(self, space, sim):
+        job = sim.pending[0]
+        sim.cluster.allocate(job, "cpu", 1, now=0)
+        sim.pending.remove(job)
+        mask = space.mask(sim)
+        grow0 = space._admit_count
+        shrink0 = space._admit_count + space.K
+        assert mask[grow0]         # k=1 < max 4
+        assert not mask[shrink0]   # k=1 == min
+
+    def test_every_valid_action_applies_cleanly(self, space, sim):
+        """The core safety property: mask-valid implies apply succeeds."""
+        mask = space.mask(sim)
+        for idx in np.flatnonzero(mask):
+            if idx == space.noop_index:
+                continue
+            # fresh simulation each time so applications don't interact
+            jobs = [make_job(arrival=0, deadline=20.0 + i, work=6.0,
+                             min_k=1, max_k=4) for i in range(4)]
+            fresh = Simulation(list(sim.cluster.platforms.values()), jobs,
+                               SimulationConfig(horizon=100))
+            fresh_mask = space.mask(fresh)
+            if fresh_mask[idx]:
+                assert space.apply(fresh, idx) is True
+
+
+class TestApply:
+    def test_admit_moves_job_to_running(self, space, sim):
+        queue = space.queue_view(sim)
+        target = queue[0]
+        idx = space.encode(Action(ActionKind.ADMIT, slot=0, platform="cpu", level=0))
+        assert space.apply(sim, idx)
+        assert target.state is JobState.RUNNING
+        assert target not in sim.pending
+        assert target.parallelism == target.min_parallelism
+
+    def test_admit_level_max(self, space, sim):
+        target = space.queue_view(sim)[0]
+        idx = space.encode(Action(ActionKind.ADMIT, slot=0, platform="cpu", level=2))
+        space.apply(sim, idx)
+        assert target.parallelism == target.max_parallelism
+
+    def test_admit_empty_slot_raises(self, space, platforms):
+        sim = Simulation(platforms, [], SimulationConfig(horizon=10))
+        with pytest.raises(ValueError, match="empty"):
+            space.apply(sim, 0)
+
+    def test_noop_returns_false(self, space, sim):
+        assert space.apply(sim, space.noop_index) is False
+
+    def test_grow_increments(self, space, sim):
+        job = sim.pending[0]
+        sim.cluster.allocate(job, "cpu", 1, now=0)
+        sim.pending.remove(job)
+        grow_idx = space._admit_count
+        space.apply(sim, grow_idx)
+        assert job.parallelism == 2
+
+    def test_urgency_ordering_of_queue_view(self, space, platforms):
+        late = make_job(arrival=0, deadline=90.0)
+        urgent = make_job(arrival=0, deadline=10.0)
+        sim = Simulation(platforms, [late, urgent], SimulationConfig(horizon=100))
+        view = space.queue_view(sim)
+        assert view[0] is urgent and view[1] is late
+
+    def test_running_view_sorted_by_slack(self, space, platforms):
+        tight = make_job(arrival=0, work=20.0, deadline=21.0,
+                         affinity={"cpu": 1.0}, min_k=1, max_k=2)
+        loose = make_job(arrival=0, work=2.0, deadline=90.0,
+                         affinity={"cpu": 1.0}, min_k=1, max_k=2)
+        sim = Simulation(platforms, [tight, loose], SimulationConfig(horizon=100))
+        for job in (loose, tight):
+            sim.cluster.allocate(job, "cpu", 1, now=0)
+            sim.pending.remove(job)
+        view = space.running_view(sim)
+        assert view[0] is tight and view[1] is loose

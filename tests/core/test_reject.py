@@ -1,0 +1,143 @@
+"""Learned admission control: the reject action of the core MDP."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoreConfig, EpisodeFactory, SchedulerEnv
+from repro.core.actions import Action, ActionKind, SchedulingActionSpace
+from repro.sim import EventKind, JobState, Platform, Simulation
+from tests.conftest import make_job
+
+PLATFORMS = [Platform("cpu", 8, 1.0), Platform("gpu", 4, 1.0)]
+NAMES = ["cpu", "gpu"]
+
+
+def space(reject=True, M=4, K=2):
+    cfg = CoreConfig(queue_slots=M, running_slots=K, reject_actions=reject)
+    return SchedulingActionSpace(cfg, NAMES), cfg
+
+
+def hopeless_job(**kw):
+    """Work 1000, deadline 10: unreachable on any platform."""
+    return make_job(work=1000.0, deadline=10.0, **kw)
+
+
+class TestLayout:
+    def test_space_grows_by_queue_slots(self):
+        with_r, _ = space(reject=True, M=4)
+        without_r, _ = space(reject=False, M=4)
+        assert with_r.n == without_r.n + 4
+        assert with_r.R == 4 and without_r.R == 0
+
+    def test_decode_encode_roundtrip(self):
+        sp, _ = space(reject=True, M=4, K=2)
+        for idx in range(sp.n):
+            action = sp.decode(idx)
+            assert sp.encode(action) == idx
+
+    def test_reject_indices_before_noop(self):
+        sp, _ = space(reject=True, M=3, K=1)
+        reject0 = sp.encode(Action(ActionKind.REJECT, slot=0))
+        assert sp.decode(reject0).kind is ActionKind.REJECT
+        assert reject0 < sp.noop_index
+        with pytest.raises(ValueError, match="reject slot"):
+            sp.encode(Action(ActionKind.REJECT, slot=3))
+
+    def test_reject_encode_fails_when_disabled(self):
+        sp, _ = space(reject=False)
+        with pytest.raises(ValueError, match="reject slot"):
+            sp.encode(Action(ActionKind.REJECT, slot=0))
+
+
+class TestMask:
+    def test_feasible_jobs_not_rejectable(self):
+        sp, _ = space()
+        sim = Simulation(PLATFORMS, [make_job(work=5.0, deadline=100.0)])
+        mask = sp.mask(sim)
+        reject0 = sp.encode(Action(ActionKind.REJECT, slot=0))
+        assert not mask[reject0]
+
+    def test_hopeless_job_rejectable(self):
+        sp, _ = space()
+        sim = Simulation(PLATFORMS, [hopeless_job()])
+        mask = sp.mask(sim)
+        reject0 = sp.encode(Action(ActionKind.REJECT, slot=0))
+        assert mask[reject0]
+
+    def test_empty_slots_not_rejectable(self):
+        sp, _ = space(M=4)
+        sim = Simulation(PLATFORMS, [hopeless_job()])
+        mask = sp.mask(sim)
+        for m in range(1, 4):
+            assert not mask[sp.encode(Action(ActionKind.REJECT, slot=m))]
+
+
+class TestApply:
+    def test_reject_drops_job(self):
+        sp, _ = space()
+        job = hopeless_job()
+        sim = Simulation(PLATFORMS, [job])
+        sp.apply(sim, sp.encode(Action(ActionKind.REJECT, slot=0)))
+        assert job.state is JobState.DROPPED
+        assert job.miss_recorded
+        assert job not in sim.pending
+        assert job in sim.dropped
+        drops = sim.log.of_kind(EventKind.DROP)
+        assert drops and drops[0].detail == "policy-reject"
+
+    def test_rejecting_feasible_job_raises(self):
+        sp, _ = space()
+        sim = Simulation(PLATFORMS, [make_job(work=5.0, deadline=100.0)])
+        with pytest.raises(ValueError, match="still feasible"):
+            sp.apply(sim, sp.encode(Action(ActionKind.REJECT, slot=0)))
+
+    def test_rejecting_empty_slot_raises(self):
+        sp, _ = space(M=4)
+        sim = Simulation(PLATFORMS, [hopeless_job()])
+        with pytest.raises(ValueError, match="empty"):
+            sp.apply(sim, sp.encode(Action(ActionKind.REJECT, slot=2)))
+
+    def test_rejected_job_counts_missed_in_metrics(self):
+        sp, _ = space()
+        job = hopeless_job()
+        sim = Simulation(PLATFORMS, [job])
+        sp.apply(sim, sp.encode(Action(ActionKind.REJECT, slot=0)))
+        sim.advance_tick()
+        report = sim.metrics()
+        assert report.num_dropped == 1
+        assert report.miss_rate == 1.0
+
+
+class TestEnvIntegration:
+    def _env(self, jobs, reject=True):
+        cfg = CoreConfig(queue_slots=4, running_slots=2, horizon=8,
+                         actions_per_tick=4, reject_actions=reject)
+        factory = EpisodeFactory(PLATFORMS, fixed_traces=[jobs])
+        return SchedulerEnv(factory, config=cfg, max_ticks=50, seed=0)
+
+    def test_reject_charged_as_miss_in_reward(self):
+        """Shedding a hopeless job must not launder its miss penalty."""
+        env = self._env([hopeless_job()])
+        env.reset()
+        sp = env.actions
+        reject0 = sp.encode(Action(ActionKind.REJECT, slot=0))
+        assert env.action_mask()[reject0]
+        env.step(reject0)                        # intra-tick: no reward yet
+        _, reward, _, _ = env.step(sp.noop_index)  # tick advances, scored
+        # Miss penalty (weight 10 by default) dominates the tick reward.
+        assert reward < -5.0
+
+    def test_mask_consistency_through_episode(self):
+        rng = np.random.default_rng(0)
+        jobs = [make_job(arrival=i, work=float(rng.uniform(3, 300)),
+                         deadline=float(i + rng.uniform(5, 60)))
+                for i in range(10)]
+        env = self._env(jobs)
+        obs = env.reset()
+        for _ in range(300):
+            mask = env.action_mask()
+            valid = np.flatnonzero(mask)
+            action = int(rng.choice(valid))
+            obs, _, done, _ = env.step(action)   # never raises on masked actions
+            if done:
+                break

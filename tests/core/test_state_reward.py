@@ -1,0 +1,138 @@
+"""State encoder layout/normalization and tick-reward semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoreConfig, RewardWeights, StateEncoder, tick_reward
+from repro.core.reward import job_ideal_duration
+from repro.sim import Platform, Simulation, SimulationConfig
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def config():
+    return CoreConfig(queue_slots=4, running_slots=3, horizon=10)
+
+
+@pytest.fixture
+def encoder(config):
+    return StateEncoder(config, ["cpu", "gpu"])
+
+
+class TestLayout:
+    def test_obs_dim_formula(self, encoder, config):
+        P = 2
+        expected = (
+            P * (1 + config.horizon)
+            + config.queue_slots * (StateEncoder.QUEUE_BASE_FEATURES + P)
+            + config.running_slots * StateEncoder.RUNNING_FEATURES
+            + StateEncoder.GLOBAL_FEATURES
+        )
+        assert encoder.obs_dim == expected
+
+    def test_encode_shape_and_clip(self, encoder, platforms):
+        jobs = [make_job(arrival=0, deadline=10_000.0, work=1e6)
+                for _ in range(6)]
+        sim = Simulation(platforms, jobs, SimulationConfig(horizon=100))
+        obs = encoder.encode(sim)
+        assert obs.shape == (encoder.obs_dim,)
+        assert np.all(np.abs(obs) <= encoder.clip)
+
+    def test_empty_cluster_free_fractions(self, encoder, platforms):
+        sim = Simulation(platforms, [], SimulationConfig(horizon=10))
+        obs = encoder.encode(sim)
+        # first entries per platform row: free fraction = 1.0
+        assert obs[0] == pytest.approx(1.0)                       # cpu now
+        assert obs[1 + encoder.config.horizon] == pytest.approx(1.0)  # gpu now
+
+    def test_occupancy_image_reflects_allocation(self, encoder, platforms):
+        job = make_job(arrival=0, work=5.0, deadline=50.0,
+                       affinity={"cpu": 1.0}, min_k=1, max_k=4)
+        sim = Simulation(platforms, [job], SimulationConfig(horizon=100))
+        sim.cluster.allocate(job, "cpu", 4, now=0)
+        sim.pending.remove(job)
+        obs = encoder.encode(sim)
+        H = encoder.config.horizon
+        cpu_image = obs[: 1 + H]
+        assert cpu_image[0] == pytest.approx(0.5)    # 4 of 8 free
+        # rate = 4 (linear speedup), remaining 5 => ceil(5/4)=2 ticks busy
+        assert cpu_image[1] == pytest.approx(0.5)
+        assert cpu_image[2] == pytest.approx(0.5)
+        assert cpu_image[3] == pytest.approx(0.0)
+
+    def test_queue_slot_presence_flags(self, encoder, platforms):
+        jobs = [make_job(arrival=0, deadline=50.0) for _ in range(2)]
+        sim = Simulation(platforms, jobs, SimulationConfig(horizon=100))
+        obs = encoder.encode(sim)
+        H = encoder.config.horizon
+        qwidth = StateEncoder.QUEUE_BASE_FEATURES + 2
+        qstart = 2 * (1 + H)
+        presence = [obs[qstart + i * qwidth] for i in range(4)]
+        assert presence == [1.0, 1.0, 0.0, 0.0]
+
+    def test_deterministic(self, encoder, platforms):
+        jobs = [make_job(arrival=0, deadline=30.0)]
+        sim = Simulation(platforms, jobs, SimulationConfig(horizon=100))
+        assert np.array_equal(encoder.encode(sim), encoder.encode(sim))
+
+
+class TestReward:
+    def _sim(self, platforms, jobs):
+        return Simulation(platforms, jobs, SimulationConfig(horizon=100))
+
+    def test_empty_system_only_utilization(self, platforms):
+        sim = self._sim(platforms, [])
+        w = RewardWeights(slowdown=1.0, miss=10.0, tardiness=1.0, utilization=0.5)
+        r = tick_reward(sim, w, newly_missed=0, newly_missed_weight=0.0,
+                        utilization=0.8)
+        assert r == pytest.approx(0.4)
+
+    def test_slowdown_term_counts_jobs_in_system(self, platforms):
+        job = make_job(arrival=0, work=8.0, deadline=50.0,
+                       affinity={"cpu": 1.0}, min_k=1, max_k=2, weight=2.0)
+        sim = self._sim(platforms, [job])
+        w = RewardWeights(slowdown=1.0, miss=0.0, tardiness=0.0, utilization=0.0)
+        ideal = job_ideal_duration(job, {"cpu": 1.0, "gpu": 1.0})
+        r = tick_reward(sim, w, 0, 0.0, 0.0)
+        assert r == pytest.approx(-2.0 / ideal)
+
+    def test_miss_penalty_weighted(self, platforms):
+        sim = self._sim(platforms, [])
+        w = RewardWeights(slowdown=0.0, miss=10.0, tardiness=0.0, utilization=0.0)
+        r = tick_reward(sim, w, newly_missed=2, newly_missed_weight=3.0,
+                        utilization=0.0)
+        assert r == pytest.approx(-30.0)
+
+    def test_tardiness_counts_late_jobs(self, platforms):
+        job = make_job(arrival=0, deadline=1.5, weight=2.0)
+        sim = self._sim(platforms, [job])
+        sim.now = 5   # job is late and still pending
+        w = RewardWeights(slowdown=0.0, miss=0.0, tardiness=1.0, utilization=0.0)
+        r = tick_reward(sim, w, 0, 0.0, 0.0)
+        assert r == pytest.approx(-2.0)
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            RewardWeights(slowdown=-1.0)
+
+    def test_ideal_duration_uses_best_platform(self):
+        job = make_job(work=8.0, affinity={"cpu": 1.0, "gpu": 2.0},
+                       min_k=1, max_k=2)
+        # gpu: 2.0 * speedup(2)=2 => rate 4 => 2 ticks
+        assert job_ideal_duration(job, {"cpu": 1.0, "gpu": 1.0}) == pytest.approx(2.0)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queue_slots": 0},
+            {"horizon": 0},
+            {"parallelism_levels": ()},
+            {"parallelism_levels": (0.0, 1.5)},
+            {"actions_per_tick": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            CoreConfig(**kwargs)

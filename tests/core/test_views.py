@@ -1,0 +1,81 @@
+"""Canonical slot views: ordering contracts for flat and DAG simulations."""
+
+import numpy as np
+import pytest
+
+from repro.core.views import queue_view, running_view
+from repro.dag import DAGSimulation, StageSpec, TaskGraph
+from repro.sim import Platform, Simulation
+from tests.conftest import make_job
+
+PLATFORMS = [Platform("cpu", 8, 1.0), Platform("gpu", 4, 1.0)]
+
+
+class TestFlatQueueView:
+    def test_deadline_order(self):
+        jobs = [make_job(deadline=d) for d in (50.0, 20.0, 80.0)]
+        sim = Simulation(PLATFORMS, jobs)
+        view = queue_view(sim, 10)
+        assert [j.deadline for j in view] == [20.0, 50.0, 80.0]
+
+    def test_truncation(self):
+        jobs = [make_job(deadline=10.0 + i) for i in range(6)]
+        sim = Simulation(PLATFORMS, jobs)
+        assert len(queue_view(sim, 3)) == 3
+        assert [j.deadline for j in queue_view(sim, 3)] == [10.0, 11.0, 12.0]
+
+    def test_tie_break_by_job_id(self):
+        a = make_job(deadline=30.0)
+        b = make_job(deadline=30.0)
+        sim = Simulation(PLATFORMS, [b, a])
+        view = queue_view(sim, 10)
+        assert view[0].job_id < view[1].job_id
+
+
+class TestDAGQueueView:
+    def _dag_sim(self):
+        """Two single-stage graphs + one 3-chain, same deadline."""
+        def stage(name, work=4.0):
+            return StageSpec(name=name, work=work, max_parallelism=2,
+                             affinity={"cpu": 1.0})
+
+        chain = TaskGraph([stage("a"), stage("b"), stage("c")],
+                          [("a", "b"), ("b", "c")], 0, 60.0)
+        single = TaskGraph([stage("z", work=6.0)], [], 0, 60.0)
+        return DAGSimulation(PLATFORMS, [chain, single])
+
+    def test_cp_priority_dominates_deadline(self):
+        sim = self._dag_sim()
+        view = queue_view(sim, 10)
+        # Chain head (downstream CP = 6 ticks) before the singleton (3).
+        assert sim.stage_of(view[0])[1] == "a"
+        assert sim.stage_of(view[1])[1] == "z"
+
+    def test_encoder_and_actions_share_the_cp_view(self):
+        """Slot 0 in the action space is the CP-critical stage."""
+        from repro.core import CoreConfig
+        from repro.core.actions import SchedulingActionSpace
+
+        sim = self._dag_sim()
+        space = SchedulingActionSpace(CoreConfig(queue_slots=4), ["cpu", "gpu"])
+        assert sim.stage_of(space.queue_view(sim)[0])[1] == "a"
+
+
+class TestRunningView:
+    def test_slack_ascending(self):
+        tight = make_job(work=30.0, deadline=20.0)     # negative slack
+        loose = make_job(work=2.0, deadline=90.0)
+        sim = Simulation(PLATFORMS, [tight, loose])
+        for job in (loose, tight):
+            sim.cluster.allocate(job, "cpu", 1)
+            sim.pending.remove(job)
+        view = running_view(sim, 10)
+        assert view[0] is tight and view[1] is loose
+
+    def test_truncation(self):
+        jobs = [make_job(work=5.0, deadline=50.0 + i) for i in range(5)]
+        sim = Simulation(PLATFORMS, jobs)
+        for job in jobs:
+            sim.cluster.allocate(job, "cpu", 1)
+            sim.pending.remove(job)
+        assert len(running_view(sim, 2)) == 2

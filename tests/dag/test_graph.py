@@ -1,0 +1,149 @@
+"""TaskGraph structure, validation, and critical-path analysis."""
+
+import pytest
+
+from repro.dag import StageSpec, TaskGraph
+from repro.sim import Platform
+
+
+PLATFORMS = [Platform("cpu", 8, 1.0), Platform("gpu", 4, 1.0)]
+
+
+def stage(name, work=10.0, max_k=2, affinity=None):
+    return StageSpec(
+        name=name, work=work, min_parallelism=1, max_parallelism=max_k,
+        affinity=affinity if affinity is not None else {"cpu": 1.0},
+    )
+
+
+def diamond(arrival=0, deadline=100.0):
+    """a -> (b, c) -> d."""
+    return TaskGraph(
+        [stage("a"), stage("b"), stage("c", work=20.0), stage("d")],
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+        arrival_time=arrival, deadline=deadline,
+    )
+
+
+class TestStageSpec:
+    def test_valid_construction(self):
+        s = stage("x", max_k=4)
+        assert s.max_parallelism == 4
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            stage("")
+
+    def test_rejects_nonpositive_work(self):
+        with pytest.raises(ValueError, match="work"):
+            stage("x", work=0.0)
+
+    def test_rejects_bad_parallelism(self):
+        with pytest.raises(ValueError):
+            StageSpec("x", 1.0, min_parallelism=0, affinity={"cpu": 1.0})
+        with pytest.raises(ValueError):
+            StageSpec("x", 1.0, min_parallelism=3, max_parallelism=2,
+                      affinity={"cpu": 1.0})
+
+    def test_rejects_empty_or_invalid_affinity(self):
+        with pytest.raises(ValueError, match="platform"):
+            StageSpec("x", 1.0, affinity={})
+        with pytest.raises(ValueError, match="positive"):
+            StageSpec("x", 1.0, affinity={"cpu": -1.0})
+
+    def test_best_rate_picks_fastest_platform(self):
+        s = stage("x", max_k=1, affinity={"cpu": 1.0, "gpu": 3.0})
+        assert s.best_rate(PLATFORMS) == pytest.approx(3.0)
+
+    def test_best_duration_uses_max_parallelism(self):
+        s = stage("x", work=12.0, max_k=2, affinity={"cpu": 1.0})
+        # linear speedup: rate = 2 at k=2
+        assert s.best_duration(PLATFORMS) == pytest.approx(6.0)
+
+    def test_best_rate_requires_runnable_platform(self):
+        s = stage("x", affinity={"tpu": 1.0})
+        with pytest.raises(ValueError, match="no given platform"):
+            s.best_rate(PLATFORMS)
+
+
+class TestTaskGraphValidation:
+    def test_requires_stages(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            TaskGraph([], [], 0, 10.0)
+
+    def test_rejects_duplicate_stage_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TaskGraph([stage("a"), stage("a")], [], 0, 10.0)
+
+    def test_rejects_unknown_edge_endpoints(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            TaskGraph([stage("a")], [("a", "zz")], 0, 10.0)
+
+    def test_rejects_cycles(self):
+        with pytest.raises(ValueError, match="cycle"):
+            TaskGraph([stage("a"), stage("b")], [("a", "b"), ("b", "a")], 0, 10.0)
+
+    def test_rejects_bad_times(self):
+        with pytest.raises(ValueError):
+            TaskGraph([stage("a")], [], -1, 10.0)
+        with pytest.raises(ValueError, match="deadline"):
+            TaskGraph([stage("a")], [], 5, 5.0)
+
+
+class TestTaskGraphStructure:
+    def test_sources_and_sinks(self):
+        g = diamond()
+        assert g.sources() == ["a"]
+        assert g.sinks() == ["d"]
+
+    def test_parents_children(self):
+        g = diamond()
+        assert set(g.parents("d")) == {"b", "c"}
+        assert set(g.children("a")) == {"b", "c"}
+
+    def test_total_work(self):
+        assert diamond().total_work() == pytest.approx(50.0)
+
+    def test_ready_stages_frontier(self):
+        g = diamond()
+        assert g.ready_stages(set()) == ["a"]
+        assert set(g.ready_stages({"a"})) == {"b", "c"}
+        assert g.ready_stages({"a", "b"}) == ["c"]      # d still blocked by c
+        assert g.ready_stages({"a", "b", "c"}) == ["d"]
+        assert g.ready_stages({"a", "b", "c", "d"}) == []
+
+    def test_single_stage_graph(self):
+        g = TaskGraph([stage("only")], [], 0, 50.0)
+        assert g.sources() == g.sinks() == ["only"]
+        assert g.ready_stages(set()) == ["only"]
+
+
+class TestCriticalPath:
+    def test_chain_critical_path(self):
+        # a(10) -> b(10) -> c(10), each best duration = work / (1*2) = 5
+        g = TaskGraph([stage("a"), stage("b"), stage("c")],
+                      [("a", "b"), ("b", "c")], 0, 100.0)
+        assert g.critical_path_length(PLATFORMS) == pytest.approx(15.0)
+
+    def test_diamond_takes_longer_branch(self):
+        g = diamond()
+        # durations: a=5, b=5, c=10, d=5 -> CP through c = 20
+        assert g.critical_path_length(PLATFORMS) == pytest.approx(20.0)
+
+    def test_downstream_cp_per_stage(self):
+        g = diamond()
+        cp = g.downstream_critical_path(PLATFORMS)
+        assert cp["d"] == pytest.approx(5.0)
+        assert cp["b"] == pytest.approx(10.0)
+        assert cp["c"] == pytest.approx(15.0)
+        assert cp["a"] == pytest.approx(20.0)
+
+    def test_cp_cached(self):
+        g = diamond()
+        assert g.downstream_critical_path(PLATFORMS) is \
+            g.downstream_critical_path(PLATFORMS)
+
+    def test_parallel_stages_do_not_add(self):
+        # Two independent stages: CP is the max, not the sum.
+        g = TaskGraph([stage("a"), stage("b", work=30.0)], [], 0, 100.0)
+        assert g.critical_path_length(PLATFORMS) == pytest.approx(15.0)

@@ -1,0 +1,103 @@
+"""Property-based tests: DAG release discipline holds for random graphs."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import EDFScheduler, GreedyElasticScheduler
+from repro.dag import DAGSimulation, DAGWorkloadConfig, generate_dag_trace
+from repro.sim import FaultInjector, FaultModel, Platform, SimulationConfig
+
+PLATFORMS = [Platform("cpu", 10, 1.0), Platform("gpu", 4, 1.0)]
+
+
+dag_configs = st.builds(
+    DAGWorkloadConfig,
+    n_dags=st.integers(min_value=1, max_value=8),
+    horizon=st.integers(min_value=5, max_value=30),
+    stages_range=st.tuples(st.integers(1, 3), st.integers(3, 6)).map(
+        lambda t: (t[0], max(t))),
+    tightness=st.floats(min_value=1.2, max_value=4.0),
+    gpu_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+def run_to_completion(cfg, seed, scheduler=None, injector=None):
+    dags = generate_dag_trace(cfg, PLATFORMS, np.random.default_rng(seed))
+    sim = DAGSimulation(PLATFORMS, dags, SimulationConfig(horizon=400),
+                        fault_injector=injector)
+    sim.run_policy(scheduler or EDFScheduler(), max_ticks=400)
+    return sim, dags
+
+
+@settings(max_examples=20, deadline=None)
+@given(cfg=dag_configs, seed=st.integers(0, 1000))
+def test_every_stage_released_exactly_once(cfg, seed):
+    sim, dags = run_to_completion(cfg, seed)
+    released = {}
+    for job in sim._all_jobs:
+        key = sim.stage_of(job)
+        assert key is not None
+        released[key] = released.get(key, 0) + 1
+    assert all(c == 1 for c in released.values())
+    # Everything eventually released (horizon is generous).
+    total_stages = sum(g.num_stages for g in dags)
+    assert len(released) == total_stages
+
+
+@settings(max_examples=20, deadline=None)
+@given(cfg=dag_configs, seed=st.integers(0, 1000))
+def test_topological_finish_order(cfg, seed):
+    """A stage never starts before every parent has finished."""
+    sim, dags = run_to_completion(cfg, seed)
+    finish = {}
+    start = {}
+    for job in sim._all_jobs:
+        key = sim.stage_of(job)
+        finish[key] = job.finish_time
+        start[key] = job.start_time
+    for g in dags:
+        for stage in g.stages:
+            for parent in g.parents(stage):
+                child_start = start[(g.graph_id, stage)]
+                parent_finish = finish[(g.graph_id, parent)]
+                if child_start is not None:
+                    assert parent_finish is not None
+                    assert child_start >= parent_finish
+
+
+@settings(max_examples=20, deadline=None)
+@given(cfg=dag_configs, seed=st.integers(0, 1000))
+def test_graph_finish_bounded_below_by_critical_path(cfg, seed):
+    """No graph finishes faster than its critical-path lower bound.
+
+    Discrete ticks can only round durations *up*, so the continuous CP
+    bound is safe.
+    """
+    sim, dags = run_to_completion(cfg, seed, scheduler=GreedyElasticScheduler())
+    for g in dags:
+        finish = sim.graph_finish_time(g)
+        if finish is not None:
+            cp = g.critical_path_length(PLATFORMS)
+            assert finish >= g.arrival_time + cp - 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(cfg=dag_configs, seed=st.integers(0, 500))
+def test_release_discipline_survives_faults(cfg, seed):
+    """Preemption by faults must not double-release or skip stages."""
+    injector = FaultInjector(
+        {"cpu": FaultModel(mtbf=15.0, mttr=5.0)},
+        rng=np.random.default_rng(seed + 1),
+    )
+    sim, dags = run_to_completion(cfg, seed, injector=injector)
+    released = {}
+    for job in sim._all_jobs:
+        key = sim.stage_of(job)
+        released[key] = released.get(key, 0) + 1
+    assert all(c == 1 for c in released.values())
+    # Capacity conservation held at the end despite preemptions.
+    for p in sim.cluster.platform_names:
+        used = sim.cluster.used_units(p)
+        free = sim.cluster.free_units(p)
+        off = sim.cluster.offline_units(p)
+        assert used + free + off == sim.cluster.capacity(p)

@@ -1,0 +1,167 @@
+"""DAGSimulation: stage release discipline and graph-level outcomes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EDFScheduler, FIFOScheduler
+from repro.dag import (
+    CriticalPathScheduler,
+    DAGSimulation,
+    DAGWorkloadConfig,
+    StageSpec,
+    TaskGraph,
+    generate_dag_trace,
+)
+from repro.sim import Platform, Simulation, SimulationConfig
+
+PLATFORMS = [Platform("cpu", 8, 1.0), Platform("gpu", 4, 1.0)]
+
+
+def stage(name, work=4.0, max_k=2):
+    return StageSpec(name=name, work=work, min_parallelism=1,
+                     max_parallelism=max_k, affinity={"cpu": 1.0})
+
+
+def chain_graph(arrival=0, deadline=60.0):
+    return TaskGraph([stage("a"), stage("b"), stage("c")],
+                     [("a", "b"), ("b", "c")], arrival, deadline)
+
+
+class TestStageRelease:
+    def test_only_sources_released_initially(self):
+        sim = DAGSimulation(PLATFORMS, [chain_graph()])
+        assert [sim.stage_of(j)[1] for j in sim.pending] == ["a"]
+
+    def test_children_released_after_parent_finishes(self):
+        sim = DAGSimulation(PLATFORMS, [chain_graph()])
+        policy = FIFOScheduler(parallelism="max")
+        # a: work 4 at k=2 -> 2 ticks
+        policy.schedule(sim); sim.advance_tick()
+        assert all(sim.stage_of(j)[1] != "b" for j in sim.pending)
+        policy.schedule(sim); sim.advance_tick()
+        assert [sim.stage_of(j)[1] for j in sim.pending] == ["b"]
+
+    def test_join_waits_for_all_parents(self):
+        # a -> c, b -> c with different durations: c must wait for both.
+        g = TaskGraph([stage("a", work=2.0), stage("b", work=8.0), stage("c")],
+                      [("a", "c"), ("b", "c")], 0, 60.0)
+        sim = DAGSimulation(PLATFORMS, [g])
+        policy = FIFOScheduler(parallelism="max")
+        for _ in range(3):  # a finishes at tick 1, b at tick 4
+            policy.schedule(sim)
+            sim.advance_tick()
+        names = [sim.stage_of(j)[1] for j in sim.pending + sim.running]
+        assert "c" not in names
+        for _ in range(2):
+            policy.schedule(sim)
+            sim.advance_tick()
+        names = [sim.stage_of(j)[1] for j in sim.pending + sim.running]
+        assert "c" in names
+
+    def test_each_stage_released_once(self):
+        g = chain_graph()
+        sim = DAGSimulation(PLATFORMS, [g])
+        sim.run_policy(FIFOScheduler(parallelism="max"), max_ticks=100)
+        stage_names = [sim.stage_of(j)[1] for j in sim._all_jobs]
+        assert sorted(stage_names) == ["a", "b", "c"]
+
+    def test_rejects_duplicate_graph_ids(self):
+        g = chain_graph()
+        with pytest.raises(ValueError, match="duplicate graph ids"):
+            DAGSimulation(PLATFORMS, [g, g])
+
+
+class TestGraphOutcomes:
+    def test_graph_completes_and_finish_time(self):
+        g = chain_graph()
+        sim = DAGSimulation(PLATFORMS, [g])
+        sim.run_policy(FIFOScheduler(parallelism="max"), max_ticks=100)
+        assert sim.graphs_completed() == 1
+        # 3 stages x 2 ticks each, released back-to-back => finish ~ 6
+        assert sim.graph_finish_time(g) == pytest.approx(6.0)
+        assert not sim.graph_missed(g)
+        assert sim.graph_miss_rate() == 0.0
+
+    def test_late_graph_is_a_miss(self):
+        g = chain_graph(deadline=3.0)   # CP is 6 -> infeasible
+        sim = DAGSimulation(PLATFORMS, [g])
+        sim.run_policy(FIFOScheduler(parallelism="max"), max_ticks=100)
+        assert sim.graph_missed(g)
+        assert sim.graph_miss_rate() == 1.0
+
+    def test_unfinished_graph_past_deadline_counts_missed(self):
+        g = chain_graph(deadline=4.0)
+        sim = DAGSimulation(PLATFORMS, [g])
+        policy = FIFOScheduler(parallelism="max")
+        for _ in range(5):   # not enough ticks to finish the chain
+            policy.schedule(sim)
+            sim.advance_tick()
+        assert sim.graph_finish_time(g) is None
+        assert sim.graph_missed(g)
+
+    def test_unarrived_graphs_excluded_from_miss_rate(self):
+        g = chain_graph(arrival=50, deadline=99.0)
+        sim = DAGSimulation(PLATFORMS, [g])
+        assert sim.graph_miss_rate() == 0.0
+
+    def test_is_done_drains_whole_graph(self):
+        sim = DAGSimulation(PLATFORMS, [chain_graph()])
+        sim.run_policy(FIFOScheduler(parallelism="max"), max_ticks=100)
+        assert sim.is_done()
+        assert sim.graphs_completed() == 1
+
+    def test_stage_deadline_clamped_when_released_late(self):
+        g = chain_graph(deadline=3.0)
+        sim = DAGSimulation(PLATFORMS, [g])
+        sim.run_policy(FIFOScheduler(parallelism="max"), max_ticks=100)
+        # released after the graph deadline, the stage job still validates
+        for j in sim._all_jobs:
+            assert j.deadline > j.arrival_time
+
+
+class TestCriticalPathScheduler:
+    def test_orders_by_downstream_cp(self):
+        # Two graphs: one long chain (high CP) and one singleton, same deadline.
+        chain = TaskGraph([stage("a"), stage("b"), stage("c")],
+                          [("a", "b"), ("b", "c")], 0, 40.0)
+        single = TaskGraph([stage("z")], [], 0, 40.0)
+        sim = DAGSimulation(PLATFORMS, [chain, single])
+        sched = CriticalPathScheduler()
+        ordered = sched.ordered_queue(sim)
+        assert sim.stage_of(ordered[0])[1] == "a"   # chain head first
+
+    def test_falls_back_to_deadline_on_flat_simulation(self):
+        from tests.conftest import make_job
+
+        jobs = [make_job(deadline=50.0), make_job(deadline=20.0)]
+        sim = Simulation(PLATFORMS, jobs)
+        ordered = CriticalPathScheduler().ordered_queue(sim)
+        assert ordered[0].deadline == 20.0
+
+    def test_cp_first_beats_fifo_on_dag_workloads(self):
+        """The E15 shape claim at test scale: CP-first <= FIFO on graph misses."""
+        cfg = DAGWorkloadConfig(n_dags=12, horizon=40, tightness=2.0)
+        miss = {}
+        for name, sched in [("cp", CriticalPathScheduler()),
+                            ("fifo", FIFOScheduler())]:
+            rates = []
+            for seed in range(4):
+                dags = generate_dag_trace(cfg, PLATFORMS,
+                                          np.random.default_rng(100 + seed))
+                sim = DAGSimulation(PLATFORMS, dags, SimulationConfig(horizon=300))
+                sim.run_policy(sched, max_ticks=300)
+                rates.append(sim.graph_miss_rate())
+            miss[name] = float(np.mean(rates))
+        assert miss["cp"] <= miss["fifo"] + 1e-9
+
+
+class TestDAGWithElasticity:
+    def test_elastic_scheduler_runs_dag_workloads(self):
+        from repro.baselines import GreedyElasticScheduler
+
+        cfg = DAGWorkloadConfig(n_dags=8, horizon=30)
+        dags = generate_dag_trace(cfg, PLATFORMS, np.random.default_rng(9))
+        sim = DAGSimulation(PLATFORMS, dags, SimulationConfig(horizon=300))
+        report = sim.run_policy(GreedyElasticScheduler(), max_ticks=300)
+        assert report.num_finished > 0
+        assert sim.graphs_completed() > 0

@@ -1,0 +1,91 @@
+"""Random DAG generator: validity, determinism, and knob behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.dag import DAGWorkloadConfig, generate_dag_trace
+from repro.dag.workload import generate_dag_graph
+from repro.sim import Platform
+
+PLATFORMS = [Platform("cpu", 16, 1.0), Platform("gpu", 6, 1.0)]
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"n_dags": 0},
+        {"horizon": 0},
+        {"stages_range": (0, 3)},
+        {"stages_range": (5, 3)},
+        {"layers_range": (3, 2)},
+        {"work_range": (0.0, 10.0)},
+        {"work_range": (10.0, 5.0)},
+        {"tightness": 0.0},
+        {"gpu_fraction": 1.5},
+        {"serial_fraction": 1.0},
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            DAGWorkloadConfig(**kwargs)
+
+
+class TestGenerateGraph:
+    def test_stage_count_in_range(self):
+        cfg = DAGWorkloadConfig(stages_range=(4, 6))
+        for seed in range(10):
+            g = generate_dag_graph(cfg, PLATFORMS, np.random.default_rng(seed), 0)
+            assert 4 <= g.num_stages <= 6
+
+    def test_graph_is_acyclic_and_connected_frontier(self):
+        cfg = DAGWorkloadConfig()
+        g = generate_dag_graph(cfg, PLATFORMS, np.random.default_rng(3), 5)
+        assert g.sources()  # at least one source
+        # Every non-source stage has at least one parent (layered build).
+        for s in g.stages:
+            assert s in g.sources() or g.parents(s)
+
+    def test_deadline_follows_critical_path(self):
+        cfg = DAGWorkloadConfig(tightness=2.0)
+        g = generate_dag_graph(cfg, PLATFORMS, np.random.default_rng(4), arrival_time=7)
+        cp = g.critical_path_length(PLATFORMS)
+        assert g.deadline == pytest.approx(7 + 2.0 * cp)
+
+    def test_all_stages_share_graph_affinity(self):
+        cfg = DAGWorkloadConfig()
+        g = generate_dag_graph(cfg, PLATFORMS, np.random.default_rng(5), 0)
+        affinities = {tuple(sorted(s.affinity.items())) for s in g.stages.values()}
+        assert len(affinities) == 1
+
+    def test_work_in_configured_range(self):
+        cfg = DAGWorkloadConfig(work_range=(2.0, 8.0))
+        g = generate_dag_graph(cfg, PLATFORMS, np.random.default_rng(6), 0)
+        for s in g.stages.values():
+            assert 2.0 <= s.work <= 8.0
+
+
+class TestGenerateTrace:
+    def test_trace_size_and_arrival_window(self):
+        cfg = DAGWorkloadConfig(n_dags=15, horizon=30)
+        trace = generate_dag_trace(cfg, PLATFORMS, np.random.default_rng(1))
+        assert len(trace) == 15
+        assert all(0 <= g.arrival_time < 30 for g in trace)
+        arrivals = [g.arrival_time for g in trace]
+        assert arrivals == sorted(arrivals)
+
+    def test_deterministic_given_seed(self):
+        cfg = DAGWorkloadConfig(n_dags=8)
+        a = generate_dag_trace(cfg, PLATFORMS, np.random.default_rng(42))
+        b = generate_dag_trace(cfg, PLATFORMS, np.random.default_rng(42))
+        assert [g.num_stages for g in a] == [g.num_stages for g in b]
+        assert [g.deadline for g in a] == [g.deadline for g in b]
+
+    def test_graph_classes_tagged_by_preferred_platform(self):
+        cfg = DAGWorkloadConfig(n_dags=30, gpu_fraction=0.5)
+        trace = generate_dag_trace(cfg, PLATFORMS, np.random.default_rng(2))
+        classes = {g.graph_class for g in trace}
+        assert classes <= {"dag-cpu", "dag-gpu"}
+        assert len(classes) == 2  # both appear at 50% mix over 30 graphs
+
+    def test_gpu_fraction_extremes(self):
+        cfg = DAGWorkloadConfig(n_dags=10, gpu_fraction=0.0)
+        trace = generate_dag_trace(cfg, PLATFORMS, np.random.default_rng(3))
+        assert all(g.graph_class == "dag-cpu" for g in trace)

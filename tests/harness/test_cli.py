@@ -1,0 +1,70 @@
+"""CLI: registry completeness, run/train/evaluate round trips."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, experiment_registry, main
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        registry = experiment_registry()
+        for eid in range(1, 18):
+            assert any(name.startswith(f"e{eid:02d}_") for name in registry), eid
+
+    def test_registry_entries_callable(self):
+        assert all(callable(fn) for fn in experiment_registry().values())
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_run(self):
+        args = build_parser().parse_args(["run", "e14_energy", "--csv", "x.csv"])
+        assert args.experiment == "e14_energy"
+        assert args.csv == "x.csv"
+
+    def test_parses_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.algo == "ppo" and args.load == 0.7
+
+    def test_rejects_bad_algo(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--algo", "dqn"])
+
+
+class TestCommands:
+    def test_list_exits_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "e02_main_table" in out and "e15_dag_workloads" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "e99_nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_saves_json_and_csv(self, tmp_path, capsys):
+        out_json = tmp_path / "rows.json"
+        out_csv = tmp_path / "rows.csv"
+        code = main(["run", "e14_energy", "--out", str(out_json),
+                     "--csv", str(out_csv)])
+        assert code == 0
+        data = json.loads(out_json.read_text())
+        assert "e14_energy" in data["tables"]
+        assert out_csv.read_text().startswith("scheduler")
+
+    def test_evaluate_without_policy(self, capsys):
+        assert main(["evaluate", "--traces", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "edf" in out and "miss_rate" in out
+
+    @pytest.mark.slow
+    def test_train_then_evaluate_roundtrip(self, tmp_path, capsys):
+        policy = tmp_path / "p.npz"
+        assert main(["train", "--iterations", "2", "--out", str(policy)]) == 0
+        assert policy.exists()
+        assert main(["evaluate", "--policy", str(policy), "--traces", "1"]) == 0
+        assert "drl" in capsys.readouterr().out

@@ -1,0 +1,59 @@
+"""Every example script must run to completion (they are the public demos)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestFastExamples:
+    def test_fault_tolerance_study(self):
+        out = run_example("fault_tolerance_study.py")
+        assert "fault-tolerance sweep" in out
+        assert "elastic advantage" in out
+
+    def test_dag_pipeline(self):
+        out = run_example("dag_pipeline.py")
+        assert "critical path" in out
+        assert "cp-first" in out
+
+    def test_energy_study(self):
+        out = run_example("energy_study.py")
+        assert "energy accounting" in out
+        assert "per-platform energy" in out
+
+    def test_heterogeneous_placement(self):
+        out = run_example("heterogeneous_placement.py")
+        assert out.strip()
+
+    def test_elastic_workload_study(self):
+        out = run_example("elastic_workload_study.py")
+        assert out.strip()
+
+    def test_overload_shedding(self):
+        out = run_example("overload_shedding.py")
+        assert "diurnal overload" in out
+        assert "ac(edf)" in out
+
+
+@pytest.mark.slow
+class TestTrainingExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", timeout=1200)
+        assert "drl" in out
+
+    def test_train_scheduler(self):
+        out = run_example("train_scheduler.py", timeout=1200)
+        assert out.strip()

@@ -1,0 +1,96 @@
+"""Initializers, checkpoint round-trips, flat parameter views."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    get_flat_params,
+    he_normal,
+    he_uniform,
+    load_params,
+    mlp,
+    orthogonal,
+    save_params,
+    set_flat_params,
+    xavier_normal,
+    xavier_uniform,
+    zeros_init,
+)
+
+
+class TestInitializers:
+    @pytest.mark.parametrize(
+        "init", [xavier_uniform, xavier_normal, he_uniform, he_normal, orthogonal]
+    )
+    def test_shape_and_determinism(self, init):
+        a = init((6, 4), np.random.default_rng(7))
+        b = init((6, 4), np.random.default_rng(7))
+        assert a.shape == (6, 4)
+        assert np.array_equal(a, b)
+
+    def test_xavier_uniform_bounds(self):
+        w = xavier_uniform((100, 100), np.random.default_rng(0))
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_he_normal_std(self):
+        w = he_normal((2000, 10), np.random.default_rng(0))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 2000), rel=0.1)
+
+    def test_orthogonal_columns(self):
+        w = orthogonal((8, 4), np.random.default_rng(0))
+        assert np.allclose(w.T @ w, np.eye(4), atol=1e-10)
+
+    def test_orthogonal_wide(self):
+        w = orthogonal((4, 8), np.random.default_rng(0))
+        assert np.allclose(w @ w.T, np.eye(4), atol=1e-10)
+
+    def test_zeros(self):
+        assert np.all(zeros_init((3, 3), np.random.default_rng(0)) == 0)
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            xavier_uniform((3,), np.random.default_rng(0))
+
+
+class TestSerialization:
+    def test_roundtrip(self, rng, tmp_path):
+        net = mlp([4, 8, 2], rng)
+        path = str(tmp_path / "ckpt.npz")
+        save_params(net, path)
+        net2 = mlp([4, 8, 2], np.random.default_rng(99))
+        x = rng.normal(size=(3, 4))
+        assert not np.allclose(net.forward(x), net2.forward(x))
+        load_params(net2, path)
+        assert np.allclose(net.forward(x), net2.forward(x))
+
+    def test_architecture_mismatch_raises(self, rng, tmp_path):
+        net = mlp([4, 8, 2], rng)
+        path = str(tmp_path / "ckpt.npz")
+        save_params(net, path)
+        with pytest.raises(ValueError, match="arrays"):
+            load_params(mlp([4, 8, 8, 2], rng), path)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_params(mlp([4, 7, 2], rng), path)
+
+    def test_flat_params_roundtrip(self, rng):
+        net = mlp([3, 5, 2], rng)
+        flat = get_flat_params(net)
+        assert flat.shape == (3 * 5 + 5 + 5 * 2 + 2,)
+        net2 = mlp([3, 5, 2], np.random.default_rng(1))
+        set_flat_params(net2, flat)
+        x = rng.normal(size=(2, 3))
+        assert np.allclose(net.forward(x), net2.forward(x))
+
+    def test_flat_params_wrong_size_raises(self, rng):
+        net = mlp([3, 5, 2], rng)
+        with pytest.raises(ValueError):
+            set_flat_params(net, np.zeros(3))
+        with pytest.raises(ValueError):
+            set_flat_params(net, np.zeros(10_000))
+
+    def test_flat_params_is_copy(self, rng):
+        net = mlp([3, 4, 2], rng)
+        flat = get_flat_params(net)
+        flat += 100.0
+        assert not np.allclose(get_flat_params(net), flat)

@@ -1,0 +1,221 @@
+"""Layer forward/backward correctness, certified against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    Dropout,
+    LayerNorm,
+    LeakyReLU,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    gradient_check,
+    mlp,
+)
+
+
+def _check_layer(layer, x, tol=1e-5):
+    """Gradient-check the layer wrapped in a Sequential."""
+    model = Sequential([layer])
+    return gradient_check(model, lambda y: float(np.sum(y * y)), x, tol=tol)
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(4, 3, rng)
+        out = layer.forward(rng.normal(size=(5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_matches_matmul(self, rng):
+        layer = Dense(4, 3, rng)
+        x = rng.normal(size=(2, 4))
+        assert np.allclose(layer.forward(x), x @ layer.W + layer.b)
+
+    def test_1d_input_promoted(self, rng):
+        layer = Dense(4, 3, rng)
+        assert layer.forward(rng.normal(size=4)).shape == (1, 3)
+
+    def test_wrong_input_dim_raises(self, rng):
+        layer = Dense(4, 3, rng)
+        with pytest.raises(ValueError, match="expected input dim"):
+            layer.forward(rng.normal(size=(2, 5)))
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Dense(4, 3, rng).backward(np.ones((2, 3)))
+
+    def test_gradient_check(self, rng):
+        _check_layer(Dense(4, 3, rng), rng.normal(size=(6, 4)))
+
+    def test_gradients_accumulate(self, rng):
+        layer = Dense(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        g = rng.normal(size=(4, 2))
+        layer.forward(x)
+        layer.backward(g)
+        first = layer.dW.copy()
+        layer.forward(x)
+        layer.backward(g)
+        assert np.allclose(layer.dW, 2 * first)
+
+    def test_zero_grad(self, rng):
+        layer = Dense(3, 2, rng)
+        layer.forward(rng.normal(size=(4, 3)))
+        layer.backward(np.ones((4, 2)))
+        layer.zero_grad()
+        assert np.all(layer.dW == 0) and np.all(layer.db == 0)
+
+    def test_invalid_dims_raise(self, rng):
+        with pytest.raises(ValueError):
+            Dense(0, 3, rng)
+        with pytest.raises(ValueError):
+            Dense(3, -1, rng)
+
+    def test_backward_input_grad(self, rng):
+        layer = Dense(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        layer.forward(x)
+        g = rng.normal(size=(4, 2))
+        dx = layer.backward(g)
+        assert np.allclose(dx, g @ layer.W.T)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer_cls", [ReLU, Tanh, Sigmoid, LeakyReLU, Softmax])
+    def test_gradient_check(self, layer_cls, rng):
+        _check_layer(layer_cls(), rng.normal(size=(5, 4)))
+
+    def test_relu_clamps_negatives(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert np.allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_leaky_relu_keeps_scaled_negatives(self):
+        out = LeakyReLU(0.1).forward(np.array([[-10.0, 5.0]]))
+        assert np.allclose(out, [[-1.0, 5.0]])
+
+    def test_leaky_relu_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(-0.5)
+
+    def test_sigmoid_stable_at_extremes(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert out[0, 1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_tanh_range(self, rng):
+        out = Tanh().forward(rng.normal(size=(10, 3)) * 100)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = Softmax().forward(rng.normal(size=(7, 5)) * 10)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_backward_before_forward_raises(self):
+        for layer in (ReLU(), Tanh(), Sigmoid(), LeakyReLU(), Softmax()):
+            with pytest.raises(RuntimeError):
+                layer.backward(np.ones((1, 2)))
+
+
+class TestLayerNorm:
+    def test_output_normalized(self, rng):
+        ln = LayerNorm(6)
+        out = ln.forward(rng.normal(size=(4, 6)) * 7 + 3)
+        assert np.allclose(out.mean(axis=1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=1), 1.0, atol=1e-2)
+
+    def test_gradient_check(self, rng):
+        _check_layer(LayerNorm(4), rng.normal(size=(5, 4)), tol=1e-4)
+
+    def test_params_exposed(self):
+        ln = LayerNorm(3)
+        assert len(ln.params()) == 2
+        assert len(ln.grads()) == 2
+
+    def test_invalid_features(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        drop = Dropout(0.5, rng)
+        drop.eval()
+        x = rng.normal(size=(3, 4))
+        assert np.array_equal(drop.forward(x), x)
+
+    def test_train_mode_zeroes_some(self, rng):
+        drop = Dropout(0.5, rng)
+        x = np.ones((100, 10))
+        out = drop.forward(x)
+        zeros = np.sum(out == 0)
+        assert 200 < zeros < 800   # roughly half, generous bounds
+
+    def test_inverted_scaling_preserves_mean(self, rng):
+        drop = Dropout(0.3, rng)
+        x = np.ones((200, 50))
+        out = drop.forward(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self, rng):
+        drop = Dropout(0.5, rng)
+        x = np.ones((10, 10))
+        out = drop.forward(x)
+        grad = drop.backward(np.ones_like(x))
+        assert np.array_equal(grad == 0, out == 0)
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+        with pytest.raises(ValueError):
+            Dropout(-0.1, rng)
+
+
+class TestSequentialAndMLP:
+    def test_mlp_shapes(self, rng):
+        net = mlp([5, 8, 3], rng)
+        assert net.forward(rng.normal(size=(2, 5))).shape == (2, 3)
+
+    def test_mlp_gradient_check(self, rng):
+        net = mlp([3, 6, 2], rng, activation="tanh")
+        gradient_check(net, lambda y: float(np.sum(np.tanh(y))), rng.normal(size=(4, 3)))
+
+    def test_mlp_relu_gradient_check(self, rng):
+        # ReLU kinks can break finite differences at 0; offset inputs.
+        net = mlp([3, 6, 2], rng, activation="relu")
+        x = rng.normal(size=(4, 3)) + 5.0
+        gradient_check(net, lambda y: float(np.sum(y * y)), x, tol=1e-4)
+
+    def test_mlp_with_layernorm(self, rng):
+        net = mlp([4, 8, 8, 2], rng, layer_norm=True)
+        assert net.forward(rng.normal(size=(3, 4))).shape == (3, 2)
+
+    def test_mlp_out_activation_softmax(self, rng):
+        net = mlp([4, 8, 3], rng, out_activation="softmax")
+        out = net.forward(rng.normal(size=(5, 4)))
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_mlp_rejects_bad_args(self, rng):
+        with pytest.raises(ValueError):
+            mlp([4], rng)
+        with pytest.raises(ValueError):
+            mlp([4, 2], rng, activation="nope")
+        with pytest.raises(ValueError):
+            mlp([4, 2], rng, out_activation="nope")
+
+    def test_sequential_param_collection(self, rng):
+        net = mlp([4, 8, 2], rng)
+        assert len(net.params()) == 4   # two Dense layers x (W, b)
+        assert all(p.shape == g.shape for p, g in zip(net.params(), net.grads()))
+
+    def test_train_eval_propagate(self, rng):
+        net = Sequential([Dense(4, 4, rng), Dropout(0.5, rng)])
+        net.eval()
+        x = rng.normal(size=(3, 4))
+        a = net.forward(x)
+        b = net.forward(x)
+        assert np.array_equal(a, b)   # dropout disabled => deterministic

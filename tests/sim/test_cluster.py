@@ -1,0 +1,201 @@
+"""Cluster allocation ledger: every invariant, every failure mode."""
+
+import pytest
+
+from repro.sim import Cluster, EventKind, JobState, Platform
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def cluster(platforms):
+    return Cluster(platforms)
+
+
+class TestConstruction:
+    def test_requires_platforms(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            Cluster([Platform("cpu", 4), Platform("cpu", 8)])
+
+    def test_capacity_queries(self, cluster):
+        assert cluster.total_capacity() == 12
+        assert cluster.free_units("cpu") == 8
+        assert cluster.utilization() == 0.0
+
+
+class TestAllocate:
+    def test_basic_allocation(self, cluster):
+        job = make_job()
+        cluster.allocate(job, "cpu", 2)
+        assert job.state is JobState.RUNNING
+        assert job.parallelism == 2
+        assert cluster.free_units("cpu") == 6
+        assert cluster.utilization("cpu") == pytest.approx(0.25)
+
+    def test_allocation_recorded_in_log(self, cluster):
+        job = make_job()
+        cluster.allocate(job, "cpu", 2, now=5)
+        starts = cluster.log.of_kind(EventKind.START)
+        assert len(starts) == 1 and starts[0].time == 5 and starts[0].parallelism == 2
+
+    def test_unknown_platform_raises(self, cluster):
+        with pytest.raises(ValueError, match="unknown platform"):
+            cluster.allocate(make_job(), "tpu", 1)
+
+    def test_affinity_mismatch_raises(self, cluster):
+        job = make_job(affinity={"gpu": 1.0})
+        with pytest.raises(ValueError, match="no affinity"):
+            cluster.allocate(job, "cpu", 1)
+
+    def test_parallelism_bounds_enforced(self, cluster):
+        job = make_job(min_k=2, max_k=3)
+        with pytest.raises(ValueError, match="parallelism"):
+            cluster.allocate(job, "cpu", 1)
+        with pytest.raises(ValueError, match="parallelism"):
+            cluster.allocate(job, "cpu", 4)
+
+    def test_capacity_enforced(self, cluster):
+        job = make_job(min_k=1, max_k=8)
+        cluster.allocate(job, "gpu", 4)
+        job2 = make_job()
+        with pytest.raises(ValueError, match="free units"):
+            cluster.allocate(job2, "gpu", 1)
+
+    def test_double_allocation_raises(self, cluster):
+        job = make_job()
+        cluster.allocate(job, "cpu", 1)
+        with pytest.raises(ValueError, match="not pending"):
+            cluster.allocate(job, "cpu", 1)
+
+    def test_can_allocate_mirror(self, cluster):
+        job = make_job(min_k=2, max_k=4)
+        assert cluster.can_allocate(job, "cpu", 2)
+        assert not cluster.can_allocate(job, "cpu", 1)      # below min
+        assert not cluster.can_allocate(job, "cpu", 9)      # above max & capacity
+        assert not cluster.can_allocate(job, "tpu", 2)      # unknown
+
+
+class TestElasticOps:
+    def test_grow(self, cluster):
+        job = make_job(min_k=1, max_k=4)
+        cluster.allocate(job, "cpu", 1)
+        assert cluster.grow(job, 2) == 3
+        assert job.parallelism == 3
+        assert job.grow_count == 1
+        assert cluster.free_units("cpu") == 5
+
+    def test_grow_beyond_max_raises(self, cluster):
+        job = make_job(min_k=1, max_k=2)
+        cluster.allocate(job, "cpu", 2)
+        with pytest.raises(ValueError, match="max_parallelism"):
+            cluster.grow(job, 1)
+
+    def test_grow_beyond_capacity_raises(self, cluster):
+        job = make_job(min_k=1, max_k=8, affinity={"gpu": 1.0})
+        cluster.allocate(job, "gpu", 4)
+        with pytest.raises(ValueError, match="free units"):
+            cluster.grow(job, 1)
+
+    def test_shrink(self, cluster):
+        job = make_job(min_k=1, max_k=4)
+        cluster.allocate(job, "cpu", 3)
+        assert cluster.shrink(job, 2) == 1
+        assert job.shrink_count == 1
+        assert cluster.free_units("cpu") == 7
+
+    def test_shrink_below_min_raises(self, cluster):
+        job = make_job(min_k=2, max_k=4)
+        cluster.allocate(job, "cpu", 2)
+        with pytest.raises(ValueError, match="min_parallelism"):
+            cluster.shrink(job, 1)
+
+    def test_grow_shrink_on_unallocated_raises(self, cluster):
+        job = make_job()
+        with pytest.raises(ValueError, match="no allocation"):
+            cluster.grow(job)
+        with pytest.raises(ValueError, match="no allocation"):
+            cluster.shrink(job)
+
+    def test_can_grow_can_shrink(self, cluster):
+        job = make_job(min_k=1, max_k=2)
+        cluster.allocate(job, "cpu", 1)
+        assert cluster.can_grow(job)
+        assert not cluster.can_shrink(job)
+        cluster.grow(job)
+        assert not cluster.can_grow(job)
+        assert cluster.can_shrink(job)
+
+    def test_nonpositive_dk_raises(self, cluster):
+        job = make_job(min_k=1, max_k=4)
+        cluster.allocate(job, "cpu", 2)
+        with pytest.raises(ValueError):
+            cluster.grow(job, 0)
+        with pytest.raises(ValueError):
+            cluster.shrink(job, -1)
+
+    def test_grow_shrink_events_logged(self, cluster):
+        job = make_job(min_k=1, max_k=4)
+        cluster.allocate(job, "cpu", 1)
+        cluster.grow(job, 1, now=3)
+        cluster.shrink(job, 1, now=4)
+        assert len(cluster.log.of_kind(EventKind.GROW)) == 1
+        assert len(cluster.log.of_kind(EventKind.SHRINK)) == 1
+
+
+class TestAdvance:
+    def test_progress_accumulates(self, cluster):
+        job = make_job(work=10.0, affinity={"cpu": 1.0}, min_k=1, max_k=4)
+        cluster.allocate(job, "cpu", 2)
+        finished = cluster.advance(0)
+        assert finished == []
+        assert job.progress == pytest.approx(2.0)
+
+    def test_completion_releases_units(self, cluster):
+        job = make_job(work=2.0, affinity={"cpu": 1.0}, min_k=1, max_k=4)
+        cluster.allocate(job, "cpu", 2)
+        finished = cluster.advance(0)
+        assert finished == [job]
+        assert job.state is JobState.FINISHED
+        assert job.finish_time == 1
+        assert cluster.free_units("cpu") == 8
+        assert cluster.running_jobs() == []
+
+    def test_progress_respects_platform_base_speed(self):
+        cluster = Cluster([Platform("gpu", 4, base_speed=2.0)])
+        job = make_job(work=10.0, affinity={"gpu": 1.5}, min_k=1, max_k=1)
+        cluster.allocate(job, "gpu", 1)
+        cluster.advance(0)
+        assert job.progress == pytest.approx(3.0)
+
+    def test_near_complete_tolerance(self, cluster):
+        # Floating-point progress within 1e-9 of work counts as done.
+        job = make_job(work=3.0, affinity={"cpu": 1.0}, min_k=1, max_k=1)
+        cluster.allocate(job, "cpu", 1)
+        job.progress = 3.0 - 1e-12
+        finished = cluster.advance(0)
+        assert finished == [job]
+
+    def test_multiple_jobs_independent_progress(self, cluster):
+        fast = make_job(work=100.0, affinity={"cpu": 2.0}, min_k=1, max_k=1)
+        slow = make_job(work=100.0, affinity={"cpu": 0.5}, min_k=1, max_k=1)
+        cluster.allocate(fast, "cpu", 1)
+        cluster.allocate(slow, "cpu", 1)
+        cluster.advance(0)
+        assert fast.progress == pytest.approx(2.0)
+        assert slow.progress == pytest.approx(0.5)
+
+    def test_capacity_conserved_through_lifecycle(self, cluster):
+        jobs = [make_job(work=float(w), affinity={"cpu": 1.0}, min_k=1, max_k=2)
+                for w in (1, 2, 3)]
+        for job in jobs:
+            cluster.allocate(job, "cpu", 2)
+        for t in range(5):
+            cluster.advance(t)
+            used = sum(cluster.used_units(p) for p in cluster.platform_names)
+            running = sum(j.parallelism for j in cluster.running_jobs())
+            assert used == running
+        assert all(j.state is JobState.FINISHED for j in jobs)
+        assert cluster.utilization() == 0.0

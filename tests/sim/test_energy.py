@@ -1,0 +1,118 @@
+"""Energy accounting: power model algebra and meter integration."""
+
+import pytest
+
+from repro.sim import (
+    Cluster,
+    EnergyMeter,
+    Platform,
+    PowerModel,
+    Simulation,
+    SimulationConfig,
+)
+from tests.conftest import make_job
+
+
+class TestPowerModel:
+    def test_idle_cluster_draws_static_floor(self):
+        m = PowerModel(idle_power=0.2, busy_power=1.0)
+        assert m.power(online=10, busy=0) == pytest.approx(2.0)
+
+    def test_busy_units_add_dynamic_delta(self):
+        m = PowerModel(idle_power=0.2, busy_power=1.0)
+        assert m.power(online=10, busy=4) == pytest.approx(2.0 + 4 * 0.8)
+
+    def test_fully_busy(self):
+        m = PowerModel(idle_power=0.5, busy_power=2.0)
+        assert m.power(online=4, busy=4) == pytest.approx(8.0)
+
+    def test_busy_cannot_exceed_online(self):
+        with pytest.raises(ValueError):
+            PowerModel().power(online=2, busy=3)
+
+    def test_negative_idle_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(idle_power=-0.1)
+
+    def test_busy_below_idle_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(idle_power=1.0, busy_power=0.5)
+
+    def test_zero_power_model(self):
+        assert PowerModel(idle_power=0.0, busy_power=0.0).power(5, 5) == 0.0
+
+
+class TestEnergyMeter:
+    def test_idle_cluster_energy(self, platforms):
+        cluster = Cluster(platforms)
+        meter = EnergyMeter({"cpu": PowerModel(0.1, 1.0), "gpu": PowerModel(0.5, 3.0)})
+        p = meter.step(cluster)
+        assert p == pytest.approx(8 * 0.1 + 4 * 0.5)
+        assert meter.total_energy == pytest.approx(p)
+
+    def test_busy_units_metered(self, platforms):
+        cluster = Cluster(platforms)
+        meter = EnergyMeter({"cpu": PowerModel(0.0, 1.0), "gpu": PowerModel(0.0, 3.0)})
+        job = make_job()
+        cluster.allocate(job, "gpu", 2)
+        assert meter.step(cluster) == pytest.approx(2 * 3.0)
+
+    def test_offline_units_draw_nothing(self, platforms):
+        cluster = Cluster(platforms)
+        meter = EnergyMeter({"cpu": PowerModel(1.0, 1.0)})
+        baseline = meter.step(cluster)
+        cluster.take_offline("cpu", 4)
+        degraded = meter.step(cluster)
+        assert degraded == pytest.approx(baseline - 4.0)
+
+    def test_default_model_for_unconfigured_platform(self, platforms):
+        cluster = Cluster(platforms)
+        meter = EnergyMeter()
+        expected = PowerModel().power(8, 0) + PowerModel().power(4, 0)
+        assert meter.step(cluster) == pytest.approx(expected)
+
+    def test_per_platform_breakdown_sums_to_total(self, platforms):
+        cluster = Cluster(platforms)
+        meter = EnergyMeter()
+        for _ in range(5):
+            meter.step(cluster)
+        assert sum(meter.per_platform.values()) == pytest.approx(meter.total_energy)
+        assert len(meter.power_series) == 5
+
+    def test_energy_per_job(self):
+        meter = EnergyMeter()
+        meter.total_energy = 100.0
+        assert meter.energy_per_job(4) == pytest.approx(25.0)
+        assert meter.energy_per_job(0) == float("inf")
+
+    def test_energy_delay_product(self):
+        meter = EnergyMeter()
+        meter.total_energy = 10.0
+        assert meter.energy_delay_product(3.0) == pytest.approx(30.0)
+
+
+class TestSimulationIntegration:
+    def test_meter_runs_each_tick(self, platforms):
+        meter = EnergyMeter()
+        sim = Simulation(platforms, [make_job(work=5.0)],
+                         SimulationConfig(horizon=10), energy_meter=meter)
+        from repro.baselines import FIFOScheduler
+
+        sim.run_policy(FIFOScheduler(), max_ticks=10)
+        assert len(meter.power_series) == len(sim.utilization_series)
+        assert meter.total_energy > 0.0
+
+    def test_busier_schedule_burns_more_energy(self, platforms):
+        """Running jobs at max parallelism draws more power per tick than min."""
+        def run(parallelism):
+            meter = EnergyMeter({"cpu": PowerModel(0.0, 1.0), "gpu": PowerModel(0.0, 1.0)})
+            jobs = [make_job(work=40.0, deadline=300.0, min_k=1, max_k=4)]
+            sim = Simulation(platforms, jobs, SimulationConfig(horizon=50),
+                             energy_meter=meter)
+            from repro.baselines import FIFOScheduler
+
+            sim.run_policy(FIFOScheduler(parallelism=parallelism), max_ticks=50)
+            peak = max(meter.power_series)
+            return peak
+
+        assert run("max") > run("min")

@@ -1,0 +1,139 @@
+"""Event log queries and metric computation."""
+
+import pytest
+
+from repro.sim import Event, EventKind, EventLog, JobState, compute_metrics
+from repro.sim.metrics import JobRecord, record_from_job
+from tests.conftest import make_job
+
+
+class TestEventLog:
+    def test_record_and_len(self):
+        log = EventLog()
+        log.record(Event(0, EventKind.ARRIVAL, job_id=1))
+        log.record(Event(1, EventKind.START, job_id=1))
+        assert len(log) == 2
+
+    def test_of_kind(self):
+        log = EventLog()
+        log.record(Event(0, EventKind.ARRIVAL, job_id=1))
+        log.record(Event(0, EventKind.ARRIVAL, job_id=2))
+        log.record(Event(1, EventKind.MISS, job_id=1))
+        assert len(log.of_kind(EventKind.ARRIVAL)) == 2
+        assert len(log.of_kind(EventKind.MISS)) == 1
+        assert log.of_kind(EventKind.FINISH) == []
+
+    def test_for_job(self):
+        log = EventLog()
+        log.record(Event(0, EventKind.ARRIVAL, job_id=1))
+        log.record(Event(0, EventKind.ARRIVAL, job_id=2))
+        log.record(Event(3, EventKind.FINISH, job_id=1))
+        events = log.for_job(1)
+        assert [e.kind for e in events] == [EventKind.ARRIVAL, EventKind.FINISH]
+
+    def test_counts(self):
+        log = EventLog()
+        for _ in range(3):
+            log.record(Event(0, EventKind.TICK))
+        assert log.counts() == {EventKind.TICK: 3}
+
+    def test_clear(self):
+        log = EventLog()
+        log.record(Event(0, EventKind.TICK))
+        log.clear()
+        assert len(log) == 0
+
+
+class TestJobRecord:
+    def test_slowdown_and_jct(self):
+        rec = JobRecord(job_id=1, job_class="x", arrival=0, deadline=20.0,
+                        work=10.0, finish=15.0, ideal_duration=5.0,
+                        missed=False, dropped=False)
+        assert rec.jct == 15.0
+        assert rec.slowdown == pytest.approx(3.0)
+        assert rec.tardiness == 0.0
+
+    def test_tardiness_when_late(self):
+        rec = JobRecord(job_id=1, job_class="x", arrival=0, deadline=10.0,
+                        work=10.0, finish=14.0, ideal_duration=5.0,
+                        missed=True, dropped=False)
+        assert rec.tardiness == pytest.approx(4.0)
+
+    def test_unfinished_has_no_jct(self):
+        rec = JobRecord(job_id=1, job_class="x", arrival=0, deadline=10.0,
+                        work=10.0, finish=None, ideal_duration=5.0,
+                        missed=True, dropped=True)
+        assert rec.jct is None and rec.slowdown is None and rec.tardiness == 0.0
+
+    def test_record_from_finished_job(self):
+        job = make_job(work=8.0, deadline=50.0, affinity={"cpu": 1.0, "gpu": 2.0},
+                       min_k=1, max_k=2)
+        job.state = JobState.FINISHED
+        job.finish_time = 10
+        rec = record_from_job(job, {"cpu": 1.0, "gpu": 1.0})
+        # ideal: gpu affinity 2 * k_max 2 = rate 4 => 2 ticks
+        assert rec.ideal_duration == pytest.approx(2.0)
+        assert not rec.missed
+
+    def test_record_from_late_job(self):
+        job = make_job(work=8.0, deadline=5.0, affinity={"cpu": 1.0})
+        job.state = JobState.FINISHED
+        job.finish_time = 9
+        rec = record_from_job(job, {"cpu": 1.0})
+        assert rec.missed and rec.tardiness == pytest.approx(4.0)
+
+    def test_record_from_dropped_job(self):
+        job = make_job(deadline=5.0)
+        job.state = JobState.DROPPED
+        rec = record_from_job(job, {"cpu": 1.0, "gpu": 1.0})
+        assert rec.missed and rec.dropped and rec.finish is None
+
+
+class TestComputeMetrics:
+    def _rec(self, **kw):
+        base = dict(job_id=0, job_class="a", arrival=0, deadline=10.0, work=5.0,
+                    finish=8.0, ideal_duration=4.0, missed=False, dropped=False)
+        base.update(kw)
+        return JobRecord(**base)
+
+    def test_empty(self):
+        report = compute_metrics([])
+        assert report.num_jobs == 0 and report.miss_rate == 0.0
+
+    def test_miss_rate(self):
+        recs = [self._rec(job_id=i, missed=(i < 2)) for i in range(4)]
+        report = compute_metrics(recs)
+        assert report.miss_rate == pytest.approx(0.5)
+        assert report.num_missed == 2
+
+    def test_mean_slowdown(self):
+        recs = [self._rec(job_id=0, finish=8.0),     # slowdown 2
+                self._rec(job_id=1, finish=16.0)]    # slowdown 4
+        report = compute_metrics(recs)
+        assert report.mean_slowdown == pytest.approx(3.0)
+
+    def test_makespan_and_throughput(self):
+        recs = [self._rec(job_id=0, finish=10.0), self._rec(job_id=1, finish=20.0)]
+        report = compute_metrics(recs)
+        assert report.makespan == 20.0
+        assert report.throughput == pytest.approx(0.1)
+
+    def test_per_class_breakdown(self):
+        recs = [self._rec(job_id=0, job_class="tc", missed=True),
+                self._rec(job_id=1, job_class="tc", missed=False),
+                self._rec(job_id=2, job_class="batch", missed=False)]
+        report = compute_metrics(recs)
+        assert report.per_class_miss_rate["tc"] == pytest.approx(0.5)
+        assert report.per_class_miss_rate["batch"] == 0.0
+        flat = report.as_dict()
+        assert flat["miss_rate[tc]"] == pytest.approx(0.5)
+
+    def test_utilization_series_mean(self):
+        recs = [self._rec()]
+        report = compute_metrics(recs, utilization_series=[0.0, 0.5, 1.0])
+        assert report.mean_utilization == pytest.approx(0.5)
+
+    def test_horizon_extends_makespan(self):
+        recs = [self._rec(finish=5.0)]
+        report = compute_metrics(recs, horizon=50)
+        assert report.makespan == 50.0

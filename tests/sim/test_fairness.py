@@ -1,0 +1,61 @@
+"""Jain's fairness index and its integration into MetricsReport."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.metrics import JobRecord, compute_metrics, jain_fairness
+
+
+class TestJainIndex:
+    def test_equal_values_perfectly_fair(self):
+        assert jain_fairness([2.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_single_dominator_scores_one_over_n(self):
+        assert jain_fairness([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero_are_fair_by_convention(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([1.0, -1.0])
+
+    def test_scale_invariance(self):
+        x = [1.0, 2.0, 3.0]
+        assert jain_fairness(x) == pytest.approx(
+            jain_fairness([10 * v for v in x]))
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1,
+                    max_size=20))
+    def test_bounded(self, values):
+        f = jain_fairness(values)
+        assert 1.0 / len(values) - 1e-9 <= f <= 1.0 + 1e-9
+
+
+def record(cls, slowdown, job_id=0):
+    """A finished record with the given class and slowdown."""
+    return JobRecord(
+        job_id=job_id, job_class=cls, arrival=0, deadline=100.0, work=10.0,
+        finish=slowdown * 10.0, ideal_duration=10.0, missed=False, dropped=False,
+    )
+
+
+class TestReportIntegration:
+    def test_balanced_classes_fair(self):
+        records = [record("a", 2.0, 1), record("b", 2.0, 2)]
+        report = compute_metrics(records)
+        assert report.class_fairness == pytest.approx(1.0)
+
+    def test_starved_class_scores_low(self):
+        records = [record("a", 1.0, 1), record("b", 9.0, 2)]
+        report = compute_metrics(records)
+        assert report.class_fairness < 0.7
+
+    def test_fairness_in_flat_dict(self):
+        report = compute_metrics([record("a", 1.5, 1)])
+        assert "class_fairness" in report.as_dict()
+
+    def test_empty_records_default(self):
+        assert compute_metrics([]).class_fairness == 1.0

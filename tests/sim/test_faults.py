@@ -1,0 +1,228 @@
+"""Fault injection: offline bookkeeping, preemption, and the injector process."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    Cluster,
+    EventKind,
+    FaultInjector,
+    FaultModel,
+    JobState,
+    Platform,
+    Simulation,
+    SimulationConfig,
+)
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def cluster(platforms):
+    return Cluster(platforms)
+
+
+class TestFaultModel:
+    def test_defaults_disable_failures(self):
+        m = FaultModel()
+        assert m.fail_prob == 0.0
+        assert m.repair_prob == pytest.approx(0.1)
+
+    def test_fail_prob_is_inverse_mtbf(self):
+        assert FaultModel(mtbf=50.0).fail_prob == pytest.approx(0.02)
+
+    def test_probabilities_capped_at_one(self):
+        m = FaultModel(mtbf=0.5, mttr=1.0)
+        assert m.fail_prob == 1.0
+        assert m.repair_prob == 1.0
+
+    def test_rejects_nonpositive_mtbf(self):
+        with pytest.raises(ValueError, match="mtbf"):
+            FaultModel(mtbf=0.0)
+
+    def test_rejects_infinite_or_small_mttr(self):
+        with pytest.raises(ValueError, match="mttr"):
+            FaultModel(mttr=float("inf"))
+        with pytest.raises(ValueError, match="mttr"):
+            FaultModel(mttr=0.5)
+
+
+class TestOfflineBookkeeping:
+    def test_take_offline_reduces_free_units(self, cluster):
+        cluster.take_offline("cpu", 3)
+        assert cluster.offline_units("cpu") == 3
+        assert cluster.free_units("cpu") == 5
+        assert cluster.capacity("cpu") == 8  # nominal capacity unchanged
+
+    def test_bring_online_restores(self, cluster):
+        cluster.take_offline("cpu", 3)
+        cluster.bring_online("cpu", 2)
+        assert cluster.offline_units("cpu") == 1
+        assert cluster.free_units("cpu") == 7
+
+    def test_availability(self, cluster):
+        assert cluster.availability() == 1.0
+        cluster.take_offline("cpu", 4)
+        assert cluster.availability("cpu") == pytest.approx(0.5)
+        assert cluster.availability() == pytest.approx(8 / 12)
+
+    def test_cannot_take_more_than_free(self, cluster):
+        job = make_job(min_k=4, max_k=8)
+        cluster.allocate(job, "cpu", 6)
+        with pytest.raises(ValueError, match="offline"):
+            cluster.take_offline("cpu", 3)
+
+    def test_cannot_repair_more_than_offline(self, cluster):
+        cluster.take_offline("cpu", 1)
+        with pytest.raises(ValueError, match="offline"):
+            cluster.bring_online("cpu", 2)
+
+    def test_unknown_platform_raises(self, cluster):
+        with pytest.raises(ValueError, match="unknown platform"):
+            cluster.take_offline("tpu", 1)
+        with pytest.raises(ValueError, match="unknown platform"):
+            cluster.bring_online("tpu", 1)
+
+    def test_nonpositive_counts_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.take_offline("cpu", 0)
+        cluster.take_offline("cpu", 1)
+        with pytest.raises(ValueError):
+            cluster.bring_online("cpu", -1)
+
+    def test_allocation_respects_offline_units(self, cluster):
+        cluster.take_offline("gpu", 3)
+        job = make_job(min_k=2, max_k=4)
+        assert not cluster.can_allocate(job, "gpu", 2)
+        with pytest.raises(ValueError, match="free units"):
+            cluster.allocate(job, "gpu", 2)
+
+    def test_events_logged(self, cluster):
+        cluster.take_offline("cpu", 2, now=7)
+        cluster.bring_online("cpu", 1, now=9)
+        fails = cluster.log.of_kind(EventKind.FAIL)
+        repairs = cluster.log.of_kind(EventKind.REPAIR)
+        assert fails[0].time == 7 and fails[0].parallelism == 2
+        assert repairs[0].time == 9 and repairs[0].parallelism == 1
+
+
+class TestPreempt:
+    def test_preempt_returns_job_to_pending(self, cluster):
+        job = make_job()
+        cluster.allocate(job, "cpu", 2)
+        job.progress = 4.0
+        cluster.preempt(job, now=3)
+        assert job.state is JobState.PENDING
+        assert job.platform is None
+        assert job.parallelism == 0
+        assert job.progress == 4.0  # checkpoint retained
+        assert job.preempt_count == 1
+        assert cluster.free_units("cpu") == 8
+
+    def test_preempt_unallocated_raises(self, cluster):
+        with pytest.raises(ValueError, match="no allocation"):
+            cluster.preempt(make_job())
+
+    def test_preempted_job_can_be_reallocated(self, cluster):
+        job = make_job()
+        cluster.allocate(job, "cpu", 2)
+        cluster.preempt(job)
+        cluster.allocate(job, "gpu", 1)
+        assert job.state is JobState.RUNNING
+        assert job.platform == "gpu"
+
+
+def _sim_with_injector(platforms, jobs, models, seed=0, **cfg):
+    injector = FaultInjector(models, rng=np.random.default_rng(seed))
+    sim = Simulation(platforms, jobs, SimulationConfig(**cfg), fault_injector=injector)
+    return sim, injector
+
+
+class TestFaultInjector:
+    def test_no_models_means_no_faults(self, platforms):
+        sim, injector = _sim_with_injector(platforms, [make_job()], {})
+        for _ in range(20):
+            sim.advance_tick()
+        assert injector.stats.failures == 0
+
+    def test_failures_occur_and_heal(self, platforms):
+        jobs = [make_job(work=200.0, deadline=500.0)]
+        sim, injector = _sim_with_injector(
+            platforms, jobs, {"cpu": FaultModel(mtbf=5.0, mttr=3.0)}, seed=1,
+            horizon=100,
+        )
+        for _ in range(100):
+            sim.advance_tick()
+        assert injector.stats.failures > 0
+        assert injector.stats.repairs > 0
+        assert injector.stats.downtime_unit_ticks > 0
+        # Offline count never exceeds capacity and ends in a sane state.
+        assert 0 <= sim.cluster.offline_units("cpu") <= 8
+
+    def test_busy_cluster_forces_preemption(self, platforms):
+        # Saturate the cpu platform so any cpu failure must evict a job.
+        jobs = [
+            make_job(work=500.0, deadline=2000.0, min_k=4, max_k=4, affinity={"cpu": 1.0})
+            for _ in range(2)
+        ]
+        sim, injector = _sim_with_injector(
+            platforms, jobs, {"cpu": FaultModel(mtbf=2.0, mttr=100.0)}, seed=2,
+        )
+        for job in list(sim.pending):
+            sim.cluster.allocate(job, "cpu", 4, now=0)
+            sim.pending.remove(job)
+        assert sim.cluster.free_units("cpu") == 0
+        for _ in range(30):
+            sim.advance_tick()
+        assert injector.stats.preemptions > 0
+        preempted = [j for j in jobs if j.preempt_count > 0]
+        assert preempted and all(j.state is JobState.PENDING for j in preempted
+                                 if j.parallelism == 0 and j.state is JobState.PENDING)
+
+    def test_victims_requeued_into_pending(self, platforms):
+        jobs = [make_job(work=100.0, deadline=400.0, min_k=8, max_k=8,
+                         affinity={"cpu": 1.0})]
+        sim, injector = _sim_with_injector(
+            platforms, jobs, {"cpu": FaultModel(mtbf=1.0, mttr=50.0)}, seed=3,
+        )
+        job = sim.pending[0]
+        sim.cluster.allocate(job, "cpu", 8, now=0)
+        sim.pending.remove(job)
+        sim.advance_tick()  # mtbf=1 => every online unit fails now
+        assert job in sim.pending
+        assert job.preempt_count == 1
+
+    def test_capacity_conservation_under_faults(self, platforms, rng):
+        """used + free + offline == capacity at every tick, regardless of faults."""
+        jobs = [make_job(arrival=i, work=20.0, deadline=i + 80.0) for i in range(10)]
+        sim, _ = _sim_with_injector(
+            platforms, jobs,
+            {"cpu": FaultModel(mtbf=4.0, mttr=4.0), "gpu": FaultModel(mtbf=6.0, mttr=2.0)},
+            seed=4,
+        )
+        from repro.baselines import EDFScheduler
+
+        policy = EDFScheduler()
+        for _ in range(60):
+            if sim.is_done():
+                break
+            policy.schedule(sim)
+            sim.advance_tick()
+            for p in sim.cluster.platform_names:
+                used = sim.cluster.used_units(p)
+                free = sim.cluster.free_units(p)
+                off = sim.cluster.offline_units(p)
+                assert used >= 0 and free >= 0 and off >= 0
+                assert used + free + off == sim.cluster.capacity(p)
+
+    def test_deterministic_given_seed(self, platforms):
+        def run(seed):
+            jobs = [make_job(arrival=i, work=15.0, deadline=i + 60.0) for i in range(6)]
+            sim, inj = _sim_with_injector(
+                platforms, jobs, {"cpu": FaultModel(mtbf=3.0, mttr=3.0)}, seed=seed,
+            )
+            from repro.baselines import EDFScheduler
+
+            sim.run_policy(EDFScheduler(), max_ticks=200)
+            return inj.stats.failures, inj.stats.repairs, sim.metrics().miss_rate
+
+        assert run(7) == run(7)

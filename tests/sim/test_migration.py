@@ -1,0 +1,139 @@
+"""Job migration between platforms: validation, cost, scheduler usage."""
+
+import pytest
+
+from repro.baselines import MigratingElasticScheduler
+from repro.sim import Cluster, EventKind, JobState, Platform, Simulation, SimulationConfig
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def cluster(platforms):
+    return Cluster(platforms)
+
+
+class TestMigrate:
+    def test_basic_migration_moves_units(self, cluster):
+        job = make_job()
+        cluster.allocate(job, "cpu", 2)
+        cluster.migrate(job, "gpu", 3, now=4)
+        assert job.platform == "gpu"
+        assert job.parallelism == 3
+        assert cluster.used_units("cpu") == 0
+        assert cluster.used_units("gpu") == 3
+        events = cluster.log.of_kind(EventKind.MIGRATE)
+        assert events[0].time == 4 and events[0].platform == "gpu"
+        assert job.migrate_count == 1
+
+    def test_cost_deducts_progress(self, cluster):
+        job = make_job()
+        cluster.allocate(job, "cpu", 2)
+        job.progress = 5.0
+        cluster.migrate(job, "gpu", 1, cost=2.0)
+        assert job.progress == pytest.approx(3.0)
+
+    def test_cost_clamped_at_zero(self, cluster):
+        job = make_job()
+        cluster.allocate(job, "cpu", 2)
+        job.progress = 0.5
+        cluster.migrate(job, "gpu", 1, cost=2.0)
+        assert job.progress == 0.0
+
+    def test_negative_cost_rejected(self, cluster):
+        job = make_job()
+        cluster.allocate(job, "cpu", 2)
+        with pytest.raises(ValueError, match="cost"):
+            cluster.migrate(job, "gpu", 1, cost=-1.0)
+
+    def test_same_platform_rejected(self, cluster):
+        job = make_job()
+        cluster.allocate(job, "cpu", 2)
+        with pytest.raises(ValueError, match="differ"):
+            cluster.migrate(job, "cpu", 2)
+
+    def test_not_running_rejected(self, cluster):
+        with pytest.raises(ValueError, match="no allocation"):
+            cluster.migrate(make_job(), "gpu", 1)
+
+    def test_affinity_and_bounds_enforced(self, cluster):
+        job = make_job(affinity={"cpu": 1.0})
+        cluster.allocate(job, "cpu", 2)
+        with pytest.raises(ValueError, match="no affinity"):
+            cluster.migrate(job, "gpu", 1)
+        job2 = make_job(min_k=2, max_k=3)
+        cluster.allocate(job2, "cpu", 2)
+        with pytest.raises(ValueError, match="parallelism"):
+            cluster.migrate(job2, "gpu", 4)
+
+    def test_capacity_enforced_atomically(self, cluster):
+        blocker = make_job(min_k=3, max_k=4, affinity={"gpu": 1.0})
+        cluster.allocate(blocker, "gpu", 3)
+        job = make_job()
+        cluster.allocate(job, "cpu", 2)
+        with pytest.raises(ValueError, match="free units"):
+            cluster.migrate(job, "gpu", 2)
+        # Original allocation untouched after the failed attempt.
+        assert job.platform == "cpu" and job.parallelism == 2
+        assert cluster.used_units("cpu") == 2
+
+    def test_can_migrate_mirrors_migrate(self, cluster):
+        job = make_job()
+        assert not cluster.can_migrate(job, "gpu", 1)   # not running
+        cluster.allocate(job, "cpu", 2)
+        assert cluster.can_migrate(job, "gpu", 2)
+        assert not cluster.can_migrate(job, "cpu", 2)   # same platform
+        assert not cluster.can_migrate(job, "gpu", 9)   # k out of bounds
+
+
+class TestMigratingElasticScheduler:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="migration_cost"):
+            MigratingElasticScheduler(migration_cost=-0.5)
+        with pytest.raises(ValueError, match="gain_threshold"):
+            MigratingElasticScheduler(gain_threshold=0.5)
+
+    def test_migrates_losing_job_to_faster_platform(self):
+        platforms = [Platform("cpu", 4, 1.0), Platform("gpu", 4, 1.0)]
+        # Behind on cpu (rate 1), gpu affinity 4x: migration is worth it.
+        job = make_job(work=40.0, deadline=15.0, min_k=1, max_k=1,
+                       affinity={"cpu": 1.0, "gpu": 4.0})
+        sim = Simulation(platforms, [job], SimulationConfig(horizon=50))
+        sim.cluster.allocate(job, "cpu", 1, now=0)
+        sim.pending.remove(job)
+        MigratingElasticScheduler(migration_cost=0.0).schedule(sim)
+        assert job.platform == "gpu"
+        assert job.migrate_count == 1
+
+    def test_no_migration_when_gain_below_threshold(self):
+        platforms = [Platform("cpu", 4, 1.0), Platform("gpu", 4, 1.0)]
+        job = make_job(work=40.0, deadline=15.0, min_k=1, max_k=1,
+                       affinity={"cpu": 1.0, "gpu": 1.2})
+        sim = Simulation(platforms, [job], SimulationConfig(horizon=50))
+        sim.cluster.allocate(job, "cpu", 1, now=0)
+        sim.pending.remove(job)
+        MigratingElasticScheduler(gain_threshold=1.5).schedule(sim)
+        assert job.platform == "cpu"
+
+    def test_no_migration_when_on_schedule(self):
+        platforms = [Platform("cpu", 4, 1.0), Platform("gpu", 4, 1.0)]
+        job = make_job(work=5.0, deadline=100.0, min_k=1, max_k=1,
+                       affinity={"cpu": 1.0, "gpu": 4.0})
+        sim = Simulation(platforms, [job], SimulationConfig(horizon=50))
+        sim.cluster.allocate(job, "cpu", 1, now=0)
+        sim.pending.remove(job)
+        MigratingElasticScheduler().schedule(sim)
+        assert job.platform == "cpu"
+
+    def test_end_to_end_run_is_clean(self, rng):
+        platforms = [Platform("cpu", 8, 1.0), Platform("gpu", 4, 1.0)]
+        jobs = [
+            make_job(arrival=int(rng.integers(0, 15)),
+                     work=float(rng.uniform(4, 25)),
+                     deadline=float(rng.uniform(30, 90)))
+            for _ in range(20)
+        ]
+        sim = Simulation(platforms, jobs, SimulationConfig(horizon=300))
+        report = sim.run_policy(MigratingElasticScheduler(), max_ticks=300)
+        assert report.num_finished == 20
+        for p in ("cpu", "gpu"):
+            assert sim.cluster.used_units(p) == 0

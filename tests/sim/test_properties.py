@@ -1,0 +1,142 @@
+"""Property-based tests: the cluster never violates its invariants under
+arbitrary valid operation sequences (hypothesis stateful testing)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.sim import AmdahlSpeedup, Cluster, Job, JobState, Platform
+
+
+def _fresh_job(rng_seed: int, idx: int) -> Job:
+    rng = np.random.default_rng(rng_seed + idx)
+    k_min = int(rng.integers(1, 3))
+    k_max = int(rng.integers(k_min, 5))
+    return Job(
+        arrival_time=0,
+        work=float(rng.uniform(1, 30)),
+        deadline=float(rng.uniform(5, 100)),
+        min_parallelism=k_min,
+        max_parallelism=k_max,
+        speedup_model=AmdahlSpeedup(float(rng.uniform(0, 0.5))),
+        affinity={"cpu": float(rng.uniform(0.5, 2.0)),
+                  "gpu": float(rng.uniform(0.5, 4.0))},
+    )
+
+
+class ClusterMachine(RuleBasedStateMachine):
+    """Random interleavings of allocate / grow / shrink / migrate /
+    preempt / fail / repair / advance."""
+
+    def __init__(self):
+        super().__init__()
+        self.cluster = Cluster([Platform("cpu", 6), Platform("gpu", 3)])
+        self.pending = [_fresh_job(777, i) for i in range(12)]
+        self.now = 0
+
+    @rule(idx=st.integers(0, 11), platform=st.sampled_from(["cpu", "gpu"]),
+          k=st.integers(1, 5))
+    def try_allocate(self, idx, platform, k):
+        job = self.pending[idx]
+        if self.cluster.can_allocate(job, platform, k):
+            self.cluster.allocate(job, platform, k, now=self.now)
+
+    @rule(idx=st.integers(0, 11))
+    def try_grow(self, idx):
+        job = self.pending[idx]
+        if self.cluster.can_grow(job, 1):
+            self.cluster.grow(job, 1, now=self.now)
+
+    @rule(idx=st.integers(0, 11))
+    def try_shrink(self, idx):
+        job = self.pending[idx]
+        if self.cluster.can_shrink(job, 1):
+            self.cluster.shrink(job, 1, now=self.now)
+
+    @rule(idx=st.integers(0, 11), platform=st.sampled_from(["cpu", "gpu"]),
+          k=st.integers(1, 5), cost=st.floats(0.0, 2.0))
+    def try_migrate(self, idx, platform, k, cost):
+        job = self.pending[idx]
+        if self.cluster.can_migrate(job, platform, k):
+            self.cluster.migrate(job, platform, k, now=self.now, cost=cost)
+
+    @rule(idx=st.integers(0, 11))
+    def try_preempt(self, idx):
+        job = self.pending[idx]
+        if self.cluster.allocation_of(job) is not None:
+            self.cluster.preempt(job, now=self.now)
+
+    @rule(platform=st.sampled_from(["cpu", "gpu"]), n=st.integers(1, 3))
+    def try_fail_units(self, platform, n):
+        if self.cluster.free_units(platform) >= n:
+            self.cluster.take_offline(platform, n, now=self.now)
+
+    @rule(platform=st.sampled_from(["cpu", "gpu"]), n=st.integers(1, 3))
+    def try_repair_units(self, platform, n):
+        if self.cluster.offline_units(platform) >= n:
+            self.cluster.bring_online(platform, n, now=self.now)
+
+    @rule()
+    def advance(self):
+        self.cluster.advance(self.now)
+        self.now += 1
+
+    @invariant()
+    def capacity_never_exceeded(self):
+        for p in self.cluster.platform_names:
+            used = self.cluster.used_units(p)
+            free = self.cluster.free_units(p)
+            offline = self.cluster.offline_units(p)
+            assert used >= 0 and free >= 0 and offline >= 0
+            assert used + free + offline == self.cluster.capacity(p)
+
+    @invariant()
+    def ledger_matches_job_state(self):
+        running = self.cluster.running_jobs()
+        for job in running:
+            assert job.state is JobState.RUNNING
+            alloc = self.cluster.allocation_of(job)
+            assert alloc is not None
+            assert job.min_parallelism <= alloc.parallelism <= job.max_parallelism
+            assert alloc.platform in job.affinity
+
+    @invariant()
+    def used_units_equal_sum_of_allocations(self):
+        per_platform = {p: 0 for p in self.cluster.platform_names}
+        for job in self.cluster.running_jobs():
+            alloc = self.cluster.allocation_of(job)
+            per_platform[alloc.platform] += alloc.parallelism
+        for p, total in per_platform.items():
+            assert total == self.cluster.used_units(p)
+
+    @invariant()
+    def progress_monotone_and_bounded(self):
+        for job in self.pending:
+            assert 0.0 <= job.progress <= job.work + 1e-9
+            if job.state is JobState.FINISHED:
+                assert job.finish_time is not None
+                assert job.progress == job.work
+
+
+TestClusterStateMachine = ClusterMachine.TestCase
+TestClusterStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+
+
+@given(st.lists(st.floats(0.5, 5.0), min_size=1, max_size=8))
+@settings(max_examples=25, deadline=None)
+def test_total_progress_equals_sum_of_rates(works):
+    """After one advance, total progress equals the sum of job rates."""
+    cluster = Cluster([Platform("cpu", 16)])
+    jobs = []
+    for i, w in enumerate(works):
+        job = Job(arrival_time=0, work=100.0, deadline=1000.0,
+                  min_parallelism=1, max_parallelism=1,
+                  affinity={"cpu": float(w)})
+        cluster.allocate(job, "cpu", 1)
+        jobs.append(job)
+    cluster.advance(0)
+    total = sum(j.progress for j in jobs)
+    assert total == sum(works) or abs(total - sum(works)) < 1e-9

@@ -1,0 +1,156 @@
+"""The tick-loop driver: arrivals, misses, drops, policy runs."""
+
+import pytest
+
+from repro.sim import (
+    EventKind,
+    JobState,
+    Platform,
+    Simulation,
+    SimulationConfig,
+)
+from tests.conftest import make_job
+
+
+class IdlePolicy:
+    """Never schedules anything."""
+
+    def schedule(self, sim):
+        pass
+
+
+class GreedyMinPolicy:
+    """Admit every pending job at min parallelism on its first platform."""
+
+    def schedule(self, sim):
+        for job in list(sim.pending):
+            for p in sim.cluster.platform_names:
+                if p in job.affinity and sim.cluster.can_allocate(
+                    job, p, job.min_parallelism
+                ):
+                    sim.cluster.allocate(job, p, job.min_parallelism, sim.now)
+                    sim.pending.remove(job)
+                    break
+
+
+class TestArrivals:
+    def test_initial_arrivals_admitted(self, platforms):
+        jobs = [make_job(arrival=0), make_job(arrival=0), make_job(arrival=3)]
+        sim = Simulation(platforms, jobs)
+        assert len(sim.pending) == 2
+        assert sim.num_future == 1
+
+    def test_later_arrivals_appear_on_their_tick(self, platforms):
+        jobs = [make_job(arrival=2)]
+        sim = Simulation(platforms, jobs)
+        assert sim.pending == []
+        sim.advance_tick()   # now=1
+        assert sim.pending == []
+        sim.advance_tick()   # now=2
+        assert len(sim.pending) == 1
+
+    def test_arrival_events_logged(self, platforms):
+        sim = Simulation(platforms, [make_job(arrival=0)])
+        assert len(sim.log.of_kind(EventKind.ARRIVAL)) == 1
+
+    def test_rejects_non_pending_jobs(self, platforms):
+        job = make_job()
+        job.state = JobState.FINISHED
+        with pytest.raises(ValueError):
+            Simulation(platforms, [job])
+
+
+class TestMissSemantics:
+    def test_miss_recorded_once_for_queued_job(self, platforms):
+        job = make_job(arrival=0, deadline=2.0)
+        sim = Simulation(platforms, [job])
+        for _ in range(5):
+            sim.advance_tick()
+        assert job.miss_recorded
+        assert len(sim.log.of_kind(EventKind.MISS)) == 1
+
+    def test_running_job_misses_but_keeps_running(self, platforms):
+        job = make_job(arrival=0, work=10.0, deadline=2.0,
+                       affinity={"cpu": 1.0}, min_k=1, max_k=1)
+        sim = Simulation(platforms, [job])
+        sim.cluster.allocate(job, "cpu", 1, now=0)
+        sim.pending.remove(job)
+        for _ in range(12):
+            sim.advance_tick()
+        assert job.state is JobState.FINISHED
+        assert job.miss_recorded
+        assert job.finish_time > job.deadline
+
+    def test_drop_on_miss_drops_pending_only(self, platforms):
+        pending_late = make_job(arrival=0, deadline=2.0)
+        running_late = make_job(arrival=0, work=10.0, deadline=2.0,
+                                affinity={"cpu": 1.0}, min_k=1, max_k=1)
+        sim = Simulation(platforms, [pending_late, running_late],
+                         SimulationConfig(drop_on_miss=True))
+        sim.cluster.allocate(running_late, "cpu", 1, now=0)
+        sim.pending.remove(running_late)
+        for _ in range(4):
+            sim.advance_tick()
+        assert pending_late.state is JobState.DROPPED
+        assert pending_late in sim.dropped
+        assert running_late.state is JobState.RUNNING
+        assert len(sim.log.of_kind(EventKind.DROP)) == 1
+
+    def test_metrics_count_dropped_as_missed(self, platforms):
+        job = make_job(arrival=0, deadline=1.5)
+        sim = Simulation(platforms, [job], SimulationConfig(drop_on_miss=True))
+        for _ in range(3):
+            sim.advance_tick()
+        report = sim.metrics()
+        assert report.num_dropped == 1
+        assert report.miss_rate == 1.0
+
+
+class TestRunPolicy:
+    def test_idle_policy_finishes_nothing(self, platforms):
+        jobs = [make_job(arrival=0, deadline=5.0)]
+        sim = Simulation(platforms, jobs, SimulationConfig(horizon=10))
+        report = sim.run_policy(IdlePolicy())
+        assert report.num_finished == 0
+        assert report.miss_rate == 1.0
+
+    def test_greedy_policy_completes_everything(self, platforms):
+        jobs = [make_job(arrival=i, work=4.0, deadline=i + 50.0,
+                         affinity={"cpu": 1.0}, min_k=1, max_k=2)
+                for i in range(5)]
+        sim = Simulation(platforms, jobs)
+        report = sim.run_policy(GreedyMinPolicy(), max_ticks=200)
+        assert report.num_finished == 5
+        assert report.miss_rate == 0.0
+        assert sim.is_done()
+
+    def test_horizon_caps_run(self, platforms):
+        jobs = [make_job(arrival=0, work=1000.0, affinity={"cpu": 1.0},
+                         deadline=2000.0, min_k=1, max_k=1)]
+        sim = Simulation(platforms, jobs, SimulationConfig(horizon=10))
+        sim.run_policy(GreedyMinPolicy())
+        assert sim.now == 10
+        assert sim.is_done()   # horizon reached counts as done
+
+    def test_utilization_series_collected(self, platforms):
+        jobs = [make_job(arrival=0, work=4.0, affinity={"cpu": 1.0},
+                         deadline=60.0, min_k=1, max_k=1)]
+        sim = Simulation(platforms, jobs)
+        sim.run_policy(GreedyMinPolicy(), max_ticks=50)
+        assert len(sim.utilization_series) > 0
+        assert max(sim.utilization_series) > 0
+
+    def test_deterministic_completion_time(self, platforms):
+        # work 6, k=1, affinity 1 => exactly 6 ticks.
+        job = make_job(arrival=0, work=6.0, deadline=100.0,
+                       affinity={"cpu": 1.0}, min_k=1, max_k=1)
+        sim = Simulation(platforms, [job])
+        sim.run_policy(GreedyMinPolicy(), max_ticks=50)
+        assert job.finish_time == 6
+
+    def test_records_cover_all_arrived_jobs(self, platforms):
+        jobs = [make_job(arrival=0), make_job(arrival=1000, deadline=1100.0)]
+        sim = Simulation(platforms, jobs, SimulationConfig(horizon=5))
+        sim.run_policy(IdlePolicy())
+        records = sim.records()
+        assert len(records) == 1   # the tick-1000 job never arrived

@@ -1,0 +1,95 @@
+"""Speedup-model laws and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AmdahlSpeedup, LinearSpeedup, PowerLawSpeedup
+
+
+class TestLinear:
+    def test_identity_scaling(self):
+        m = LinearSpeedup()
+        assert m.speedup(1) == 1.0
+        assert m.speedup(7) == 7.0
+
+    def test_efficiency_constant(self):
+        m = LinearSpeedup()
+        assert m.efficiency(5) == pytest.approx(1.0)
+
+
+class TestAmdahl:
+    def test_sigma_zero_is_linear(self):
+        m = AmdahlSpeedup(0.0)
+        for k in (1, 2, 8):
+            assert m.speedup(k) == pytest.approx(float(k))
+
+    def test_sigma_one_no_benefit(self):
+        m = AmdahlSpeedup(1.0)
+        assert m.speedup(10) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # sigma=0.5, k=2: 1 / (0.5 + 0.25) = 4/3
+        assert AmdahlSpeedup(0.5).speedup(2) == pytest.approx(4.0 / 3.0)
+
+    def test_asymptote(self):
+        m = AmdahlSpeedup(0.25)
+        assert m.speedup(10_000) == pytest.approx(4.0, rel=1e-2)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            AmdahlSpeedup(-0.1)
+        with pytest.raises(ValueError):
+            AmdahlSpeedup(1.5)
+
+    @given(st.floats(0.0, 1.0), st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounded_by_linear(self, sigma, k):
+        s = AmdahlSpeedup(sigma).speedup(k)
+        assert 1.0 - 1e-9 <= s <= k + 1e-9
+
+
+class TestPowerLaw:
+    def test_alpha_one_is_linear(self):
+        m = PowerLawSpeedup(1.0)
+        assert m.speedup(6) == pytest.approx(6.0)
+
+    def test_known_value(self):
+        assert PowerLawSpeedup(0.5).speedup(4) == pytest.approx(2.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            PowerLawSpeedup(0.0)
+        with pytest.raises(ValueError):
+            PowerLawSpeedup(1.1)
+
+
+@pytest.mark.parametrize(
+    "model",
+    [LinearSpeedup(), AmdahlSpeedup(0.2), PowerLawSpeedup(0.7)],
+    ids=["linear", "amdahl", "powerlaw"],
+)
+class TestSharedInvariants:
+    def test_normalized_at_one(self, model):
+        assert model.speedup(1) == pytest.approx(1.0)
+
+    def test_monotone_nondecreasing(self, model):
+        values = [model.speedup(k) for k in range(1, 20)]
+        assert np.all(np.diff(values) >= -1e-12)
+
+    def test_efficiency_nonincreasing(self, model):
+        eff = [model.efficiency(k) for k in range(1, 20)]
+        assert np.all(np.diff(eff) <= 1e-12)
+
+    def test_marginal_gain_nonnegative(self, model):
+        for k in range(1, 10):
+            assert model.marginal_gain(k) >= -1e-12
+
+    def test_invalid_k(self, model):
+        with pytest.raises(ValueError):
+            model.speedup(0)
+        with pytest.raises(ValueError):
+            model.efficiency(-1)
+        with pytest.raises(TypeError):
+            model.speedup(2.5)

@@ -1,0 +1,69 @@
+"""Arrival processes: statistics, determinism, validation."""
+
+import numpy as np
+import pytest
+
+from repro.workload import BurstyArrivals, DeterministicArrivals, PoissonArrivals
+
+
+class TestPoisson:
+    def test_mean_rate(self, rng):
+        times = PoissonArrivals(2.0).sample(5000, rng)
+        assert len(times) / 5000 == pytest.approx(2.0, rel=0.05)
+
+    def test_times_sorted_and_in_range(self, rng):
+        times = PoissonArrivals(0.5).sample(100, rng)
+        assert times == sorted(times)
+        assert all(0 <= t < 100 for t in times)
+
+    def test_deterministic_given_seed(self):
+        a = PoissonArrivals(1.0).sample(50, np.random.default_rng(3))
+        b = PoissonArrivals(1.0).sample(50, np.random.default_rng(3))
+        assert a == b
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+    def test_invalid_horizon(self, rng):
+        with pytest.raises(ValueError):
+            PoissonArrivals(1.0).sample(0, rng)
+
+
+class TestBursty:
+    def test_mean_rate_between_states(self, rng):
+        proc = BurstyArrivals(rate_low=0.5, rate_high=2.5, switch_prob=0.2)
+        times = proc.sample(20_000, rng)
+        assert proc.mean_rate == pytest.approx(1.5)
+        assert len(times) / 20_000 == pytest.approx(1.5, rel=0.1)
+
+    def test_burstier_than_poisson(self, rng):
+        """Per-window counts must have higher variance than Poisson of
+        equal mean (the defining property of an MMPP)."""
+        horizon = 20_000
+        bursty = BurstyArrivals(0.2, 3.8, switch_prob=0.01)
+        times = np.array(bursty.sample(horizon, rng))
+        counts = np.bincount(times, minlength=horizon)
+        # index of dispersion: Poisson ~1, MMPP > 1
+        dispersion = counts.var() / counts.mean()
+        assert dispersion > 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(0.0, 1.0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(2.0, 1.0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(1.0, 2.0, switch_prob=0.0)
+
+
+class TestDeterministic:
+    def test_exact_times(self, rng):
+        times = DeterministicArrivals(period=3, offset=1).sample(10, rng)
+        assert times == [1, 4, 7]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeterministicArrivals(period=0)
+        with pytest.raises(ValueError):
+            DeterministicArrivals(period=2, offset=-1)

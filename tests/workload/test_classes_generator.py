@@ -1,0 +1,161 @@
+"""Job classes, trace generation, and offered-load accounting."""
+
+import numpy as np
+import pytest
+
+from repro.sim import JobState, Platform
+from repro.workload import (
+    JobClass,
+    WorkloadConfig,
+    arrival_rate_for_load,
+    default_job_classes,
+    generate_trace,
+    offered_load,
+)
+
+
+@pytest.fixture
+def base_speeds():
+    return {"cpu": 1.0, "gpu": 1.0}
+
+
+@pytest.fixture
+def tc_class():
+    return JobClass(
+        name="tc",
+        mix_weight=1.0,
+        work_lognorm=(2.0, 0.5),
+        parallelism_range=(1, 4),
+        serial_fraction=0.1,
+        affinity={"cpu": 1.0, "gpu": 2.0},
+        tightness_range=(1.5, 2.5),
+        weight=2.0,
+    )
+
+
+class TestJobClass:
+    def test_mean_work_lognormal(self, tc_class):
+        mu, sigma = tc_class.work_lognorm
+        assert tc_class.mean_work() == pytest.approx(np.exp(mu + sigma**2 / 2))
+
+    def test_sample_job_fields(self, tc_class, base_speeds, rng):
+        job = tc_class.sample_job(5, rng, base_speeds)
+        assert job.arrival_time == 5
+        assert job.job_class == "tc"
+        assert job.weight == 2.0
+        assert 1 <= job.min_parallelism <= job.max_parallelism <= 4
+        assert job.deadline > job.arrival_time
+        assert job.state is JobState.PENDING
+
+    def test_deadline_respects_tightness(self, tc_class, base_speeds, rng):
+        """Deadline must lie within [lo, hi] x ideal duration of arrival."""
+        for _ in range(50):
+            job = tc_class.sample_job(0, rng, base_speeds)
+            best_rate = max(
+                job.affinity[p] * job.speedup_model.speedup(job.max_parallelism)
+                for p in job.affinity
+            )
+            ideal = job.work / best_rate
+            tau = (job.deadline - job.arrival_time) / ideal
+            assert 1.5 - 1e-6 <= tau or job.deadline - job.arrival_time >= 1.0
+            assert tau <= 2.5 + 1e-6 or job.deadline - job.arrival_time <= 1.0 + 1e-5
+
+    def test_tightness_scale_loosens_deadlines(self, tc_class, base_speeds):
+        tight = [tc_class.sample_job(0, np.random.default_rng(i), base_speeds,
+                                     tightness_scale=1.0).deadline for i in range(30)]
+        loose = [tc_class.sample_job(0, np.random.default_rng(i), base_speeds,
+                                     tightness_scale=3.0).deadline for i in range(30)]
+        assert np.mean(loose) > np.mean(tight)
+
+    def test_rigid_flag(self, base_speeds, rng):
+        cls = JobClass(name="r", mix_weight=1.0, work_lognorm=(2.0, 0.3),
+                       parallelism_range=(1, 6), serial_fraction=0.1,
+                       affinity={"cpu": 1.0}, rigid=True)
+        for _ in range(10):
+            job = cls.sample_job(0, rng, base_speeds)
+            assert job.min_parallelism == job.max_parallelism
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mix_weight": 0.0},
+            {"parallelism_range": (0, 4)},
+            {"parallelism_range": (4, 2)},
+            {"serial_fraction": 1.5},
+            {"tightness_range": (0.9, 2.0)},
+            {"affinity": {}},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(name="x", mix_weight=1.0, work_lognorm=(2.0, 0.5),
+                    parallelism_range=(1, 4), serial_fraction=0.1,
+                    affinity={"cpu": 1.0})
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            JobClass(**base)
+
+    def test_default_classes_well_formed(self):
+        classes = default_job_classes()
+        assert len(classes) == 4
+        names = {c.name for c in classes}
+        assert names == {"tc-cpu", "tc-gpu", "batch", "rigid-svc"}
+        assert any(c.rigid for c in classes)
+
+
+class TestGenerator:
+    def test_trace_generation(self, platforms, rng):
+        cfg = WorkloadConfig(classes=default_job_classes(), horizon=100)
+        jobs = generate_trace(cfg, platforms, rng, load=0.5)
+        assert len(jobs) > 0
+        assert all(0 <= j.arrival_time < 100 for j in jobs)
+
+    def test_load_inversion_consistent(self, platforms):
+        cfg = WorkloadConfig(classes=default_job_classes(), horizon=100)
+        rate = arrival_rate_for_load(0.8, cfg, platforms)
+        assert offered_load(rate, cfg, platforms) == pytest.approx(0.8)
+
+    def test_higher_load_more_jobs(self, platforms):
+        cfg = WorkloadConfig(classes=default_job_classes(), horizon=300)
+        low = generate_trace(cfg, platforms, np.random.default_rng(1), load=0.3)
+        high = generate_trace(cfg, platforms, np.random.default_rng(1), load=1.2)
+        assert len(high) > len(low)
+
+    def test_exactly_one_of_arrivals_or_load(self, platforms, rng):
+        cfg = WorkloadConfig(classes=default_job_classes(), horizon=50)
+        with pytest.raises(ValueError):
+            generate_trace(cfg, platforms, rng)
+        from repro.workload import PoissonArrivals
+        with pytest.raises(ValueError):
+            generate_trace(cfg, platforms, rng, arrivals=PoissonArrivals(1.0), load=0.5)
+
+    def test_deterministic_given_seed(self, platforms):
+        cfg = WorkloadConfig(classes=default_job_classes(), horizon=80)
+        a = generate_trace(cfg, platforms, np.random.default_rng(9), load=0.6)
+        b = generate_trace(cfg, platforms, np.random.default_rng(9), load=0.6)
+        assert len(a) == len(b)
+        assert all(x.work == y.work and x.deadline == y.deadline
+                   for x, y in zip(a, b))
+
+    def test_class_mix_respected(self, platforms):
+        cfg = WorkloadConfig(classes=default_job_classes(), horizon=2000)
+        jobs = generate_trace(cfg, platforms, np.random.default_rng(4), load=0.8)
+        frac_tc_cpu = sum(j.job_class == "tc-cpu" for j in jobs) / len(jobs)
+        assert frac_tc_cpu == pytest.approx(0.35, abs=0.05)
+
+    def test_unrunnable_class_raises(self, rng):
+        cls = JobClass(name="gpu-only", mix_weight=1.0, work_lognorm=(2.0, 0.5),
+                       parallelism_range=(1, 2), serial_fraction=0.1,
+                       affinity={"gpu": 1.0})
+        cfg = WorkloadConfig(classes=[cls], horizon=10)
+        cpu_only = [Platform("cpu", 8)]
+        with pytest.raises(ValueError, match="runs on no provided platform"):
+            offered_load(1.0, cfg, cpu_only)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(classes=[], horizon=10)
+        with pytest.raises(ValueError):
+            WorkloadConfig(classes=default_job_classes(), horizon=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(classes=default_job_classes(), horizon=10,
+                           tightness_scale=0.0)

@@ -1,0 +1,86 @@
+"""Diurnal (sinusoidally-modulated) arrival process."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload import DiurnalArrivals
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"base_rate": 0.0},
+        {"base_rate": 1.0, "amplitude": -0.1},
+        {"base_rate": 1.0, "amplitude": 1.0},
+        {"base_rate": 1.0, "period": 0},
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(**kwargs)
+
+    def test_zero_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(1.0).sample(0, np.random.default_rng(0))
+
+
+class TestRateShape:
+    def test_rate_oscillates_around_base(self):
+        p = DiurnalArrivals(base_rate=2.0, amplitude=0.5, period=40)
+        t = np.arange(40)
+        rates = p.rate_at(t)
+        assert rates.max() == pytest.approx(3.0, abs=0.05)
+        assert rates.min() == pytest.approx(1.0, abs=0.05)
+        assert rates.mean() == pytest.approx(2.0, abs=0.05)
+
+    def test_rate_always_positive(self):
+        p = DiurnalArrivals(base_rate=1.0, amplitude=0.99, period=24)
+        assert np.all(p.rate_at(np.arange(200)) > 0)
+
+    def test_phase_shifts_peak(self):
+        a = DiurnalArrivals(1.0, 0.8, period=40, phase=0.0)
+        b = DiurnalArrivals(1.0, 0.8, period=40, phase=0.5)
+        t = np.arange(40)
+        # Half-period phase flips the sinusoid.
+        assert np.allclose(a.rate_at(t) + b.rate_at(t), 2.0, atol=1e-9)
+
+    def test_mean_rate_property(self):
+        assert DiurnalArrivals(3.5).mean_rate == 3.5
+
+
+class TestSampling:
+    def test_arrivals_sorted_and_in_range(self):
+        p = DiurnalArrivals(base_rate=1.5, period=24)
+        arr = p.sample(100, np.random.default_rng(0))
+        assert arr == sorted(arr)
+        assert all(0 <= a < 100 for a in arr)
+
+    def test_mean_count_tracks_base_rate(self):
+        p = DiurnalArrivals(base_rate=2.0, amplitude=0.6, period=24)
+        rng = np.random.default_rng(1)
+        counts = [len(p.sample(240, rng)) for _ in range(20)]
+        # Expectation 480; Poisson noise over 20 runs is tight.
+        assert np.mean(counts) == pytest.approx(480, rel=0.1)
+
+    def test_peak_hours_busier_than_troughs(self):
+        p = DiurnalArrivals(base_rate=4.0, amplitude=0.9, period=40, phase=0.0)
+        rng = np.random.default_rng(2)
+        arr = np.array(p.sample(4000, rng))
+        phase_pos = (arr % 40) / 40.0
+        # sin peaks in the first half-cycle, troughs in the second.
+        peak = np.sum((phase_pos >= 0.05) & (phase_pos < 0.45))
+        trough = np.sum((phase_pos >= 0.55) & (phase_pos < 0.95))
+        assert peak > 1.5 * trough
+
+    def test_deterministic_given_seed(self):
+        p = DiurnalArrivals(1.0)
+        a = p.sample(50, np.random.default_rng(3))
+        b = p.sample(50, np.random.default_rng(3))
+        assert a == b
+
+    @settings(max_examples=20, deadline=None)
+    @given(rate=st.floats(0.1, 5.0), amp=st.floats(0.0, 0.9),
+           period=st.integers(2, 100))
+    def test_sampling_never_crashes(self, rate, amp, period):
+        p = DiurnalArrivals(rate, amp, period)
+        arr = p.sample(60, np.random.default_rng(0))
+        assert all(isinstance(a, (int, np.integer)) for a in arr)

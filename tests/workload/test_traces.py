@@ -1,0 +1,63 @@
+"""Trace persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.sim import AmdahlSpeedup, LinearSpeedup, PowerLawSpeedup
+from repro.workload import (
+    WorkloadConfig,
+    default_job_classes,
+    generate_trace,
+    load_trace,
+    save_trace,
+)
+from tests.conftest import make_job
+
+
+def test_roundtrip_preserves_static_fields(platforms, rng, tmp_path):
+    cfg = WorkloadConfig(classes=default_job_classes(), horizon=50)
+    jobs = generate_trace(cfg, platforms, rng, load=0.7)
+    path = str(tmp_path / "trace.json")
+    save_trace(jobs, path)
+    loaded = load_trace(path)
+    assert len(loaded) == len(jobs)
+    for a, b in zip(jobs, loaded):
+        assert a.arrival_time == b.arrival_time
+        assert a.work == b.work
+        assert a.deadline == b.deadline
+        assert a.min_parallelism == b.min_parallelism
+        assert a.max_parallelism == b.max_parallelism
+        assert a.affinity == b.affinity
+        assert a.job_class == b.job_class
+        assert a.weight == b.weight
+
+
+def test_loaded_jobs_have_fresh_runtime_state(tmp_path):
+    job = make_job(work=5.0)
+    job.progress = 3.0                    # dirty runtime state
+    path = str(tmp_path / "t.json")
+    save_trace([job], path)
+    loaded = load_trace(path)[0]
+    assert loaded.progress == 0.0
+    assert loaded.job_id != job.job_id    # fresh identity
+
+
+@pytest.mark.parametrize(
+    "model",
+    [LinearSpeedup(), AmdahlSpeedup(0.25), PowerLawSpeedup(0.8)],
+    ids=["linear", "amdahl", "powerlaw"],
+)
+def test_speedup_models_roundtrip(model, tmp_path):
+    job = make_job(speedup=model)
+    path = str(tmp_path / "t.json")
+    save_trace([job], path)
+    loaded = load_trace(path)[0]
+    assert type(loaded.speedup_model) is type(model)
+    for k in (1, 2, 4):
+        assert loaded.speedup_model.speedup(k) == pytest.approx(model.speedup(k))
+
+
+def test_empty_trace_roundtrip(tmp_path):
+    path = str(tmp_path / "empty.json")
+    save_trace([], path)
+    assert load_trace(path) == []
