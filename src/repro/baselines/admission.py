@@ -42,6 +42,9 @@ class AdmissionControlScheduler:
         self.slack_threshold = slack_threshold
         self.shed_jobs: List[Job] = []
         self.name = f"ac({getattr(inner, 'name', type(inner).__name__)})"
+        # Shedding only touches pending jobs, so the wrapper is exactly as
+        # kernel-quiescent as its inner scheduler (see repro.sim.kernel).
+        self.quiescence = getattr(inner, "quiescence", "none")
 
     def schedule(self, sim: "Simulation") -> None:
         """Shed infeasible work, then run the inner scheduler."""

@@ -35,6 +35,13 @@ class HeuristicScheduler:
 
     name = "heuristic"
 
+    # Event-kernel contract (see repro.sim.kernel): admission-only
+    # heuristics are a no-op (and draw no randomness) whenever the
+    # pending queue is empty, so the kernel may fast-forward such ticks.
+    # Subclasses that act on *running* jobs (elastic passes) must weaken
+    # this to "idle" (quiescent only when queue AND running set are empty).
+    quiescence = "queue"
+
     def __init__(self, platform_choice: str = "best", parallelism: str = "fit",
                  seed: int = 0) -> None:
         if platform_choice not in ("best", "blind"):

@@ -100,6 +100,8 @@ class RandomScheduler(HeuristicScheduler):
     name = "random"
 
     def schedule(self, sim: "Simulation") -> None:
+        if not sim.pending:
+            return  # keep the RNG untouched on empty queues (kernel contract)
         jobs = list(sim.pending)
         self.rng.shuffle(jobs)
         for job in jobs:
@@ -129,6 +131,9 @@ class GreedyElasticScheduler(HeuristicScheduler):
     """
 
     name = "greedy-elastic"
+    # The elastic pass may grow/shrink running jobs even with an empty
+    # queue, so the kernel may only fast-forward fully idle stretches.
+    quiescence = "idle"
 
     def order_key(self, sim: "Simulation", job: Job) -> float:
         return job.deadline

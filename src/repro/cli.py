@@ -79,12 +79,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from repro.harness.experiments import quick_scenario, train_drl
     from repro.nn.serialize import save_params
 
-    scenario = quick_scenario(load=args.load)
+    scenario = quick_scenario(load=args.load).with_engine(args.engine)
     sched = train_drl(scenario, iterations=args.iterations, seed=args.seed,
-                      algo=args.algo)
+                      algo=args.algo, num_envs=args.num_envs)
     save_params(sched.policy.net, args.out)
     print(f"trained {args.algo} policy (load={args.load}, "
-          f"{args.iterations} iters) -> {args.out}")
+          f"{args.iterations} iters, {args.num_envs} envs, "
+          f"{args.engine} engine) -> {args.out}")
     return 0
 
 
@@ -107,7 +108,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.harness.experiments import quick_scenario
     from repro.harness.tables import format_table
 
-    scenario = quick_scenario(load=args.load)
+    scenario = quick_scenario(load=args.load).with_engine(args.engine)
     traces = scenario.traces(args.traces)
     schedulers = dict(baseline_roster())
     if args.policy:
@@ -115,7 +116,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     rows: List[dict] = []
     for name, sched in schedulers.items():
         reports = evaluate_scheduler(sched, scenario.platforms, traces,
-                                     max_ticks=scenario.max_ticks)
+                                     max_ticks=scenario.max_ticks,
+                                     engine=scenario.engine)
         rows.append({
             "scheduler": name,
             "miss_rate": float(np.mean([r.miss_rate for r in reports])),
@@ -153,6 +155,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["reinforce", "a2c", "ppo"])
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--out", default="policy.npz")
+    train.add_argument("--num-envs", type=int, default=1,
+                       help="parallel environments for batched rollouts")
+    train.add_argument("--engine", default="tick", choices=["tick", "event"],
+                       help="simulation driver (event = idle fast-forward)")
     train.set_defaults(func=_cmd_train)
 
     ev = sub.add_parser("evaluate",
@@ -160,6 +166,8 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--policy", default=None, help="path from `train --out`")
     ev.add_argument("--load", type=float, default=0.7)
     ev.add_argument("--traces", type=int, default=3)
+    ev.add_argument("--engine", default="tick", choices=["tick", "event"],
+                    help="simulation driver (event = idle fast-forward)")
     ev.set_defaults(func=_cmd_evaluate)
     return parser
 

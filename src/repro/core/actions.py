@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, TYPE_CHECKING
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -77,6 +77,7 @@ class SchedulingActionSpace:
         self.R = self.M if config.reject_actions else 0
         self._admit_count = self.M * self.P * self.L
         self.n = self._admit_count + 2 * self.K + self.R + 1
+        self._level_cache: dict = {}
 
     @property
     def noop_index(self) -> int:
@@ -135,33 +136,84 @@ class SchedulingActionSpace:
         return _running_view(sim, self.config.running_slots)
 
     # --- masking ------------------------------------------------------------------
-    def mask(self, sim: "Simulation") -> np.ndarray:
-        """Boolean validity mask over the flat action space (noop always valid)."""
+    def mask(self, sim: "Simulation",
+             views: Optional[Tuple[List[Job], List[Job]]] = None) -> np.ndarray:
+        """Boolean validity mask over the flat action space (noop always valid).
+
+        ``views`` optionally supplies precomputed ``(queue, running)``
+        slot views so callers that also encode the state share the sorts.
+        """
         mask = np.zeros(self.n, dtype=bool)
+        self._mask_into(sim, mask, views)
+        return mask
+
+    def mask_batch(
+        self,
+        sims: Sequence["Simulation"],
+        views: Optional[Sequence[Tuple[List[Job], List[Job]]]] = None,
+    ) -> np.ndarray:
+        """Stacked masks for a batch of simulations, shape ``(B, n)``."""
+        masks = np.zeros((len(sims), self.n), dtype=bool)
+        for i, sim in enumerate(sims):
+            self._mask_into(sim, masks[i], views[i] if views is not None else None)
+        return masks
+
+    def _mask_into(self, sim: "Simulation", mask: np.ndarray,
+                   views: Optional[Tuple[List[Job], List[Job]]] = None) -> None:
         mask[self.noop_index] = True
-        queue = self.queue_view(sim)
-        levels = self.config.parallelism_levels
+        if views is not None:
+            queue, running = views
+        else:
+            queue = self.queue_view(sim)
+            running = self.running_view(sim) if self.K else []
+        cluster = sim.cluster
+        free = [cluster.free_units(p) for p in self.platform_names]
         for m, job in enumerate(queue):
+            ks = self._job_levels(job)  # level -> parallelism, platform-free
+            affinity = job.affinity
             for p, platform in enumerate(self.platform_names):
-                if platform not in job.affinity:
+                if platform not in affinity:
                     continue
-                free = sim.cluster.free_units(platform)
-                for l, frac in enumerate(levels):
-                    k = level_to_parallelism(job, frac)
-                    if job.min_parallelism <= k <= job.max_parallelism and free >= k:
-                        mask[m * self.P * self.L + p * self.L + l] = True
+                free_p = free[p]
+                base = m * self.P * self.L + p * self.L
+                for l, k in enumerate(ks):
+                    if k is not None and free_p >= k:
+                        mask[base + l] = True
         if self.K:
-            running = self.running_view(sim)
+            pidx = {p: i for i, p in enumerate(self.platform_names)}
             for k_slot, job in enumerate(running):
-                if sim.cluster.can_grow(job, 1):
+                alloc = cluster.allocation_of(job)
+                if alloc is None:  # pragma: no cover - defensive
+                    continue
+                # Inlined can_grow/can_shrink against the free snapshot.
+                if (alloc.parallelism + 1 <= job.max_parallelism
+                        and free[pidx[alloc.platform]] >= 1):
                     mask[self._admit_count + k_slot] = True
-                if sim.cluster.can_shrink(job, 1):
+                if alloc.parallelism - 1 >= job.min_parallelism:
                     mask[self._admit_count + self.K + k_slot] = True
         if self.R:
             for m, job in enumerate(queue):
                 if self._rejectable(sim, job):
                     mask[self._admit_count + 2 * self.K + m] = True
-        return mask
+
+    def _job_levels(self, job: Job) -> tuple:
+        """Per-level parallelism choices for a job (None = out of window).
+
+        Static per job (window and levels never change), so cached by the
+        globally-unique job id — the admit-mask inner loop otherwise
+        recomputes the same roundings per platform per tick.
+        """
+        cached = self._level_cache.get(job.job_id)
+        if cached is None:
+            cached = tuple(
+                k if job.min_parallelism <= k <= job.max_parallelism else None
+                for k in (level_to_parallelism(job, frac)
+                          for frac in self.config.parallelism_levels)
+            )
+            if len(self._level_cache) > 100_000:
+                self._level_cache.clear()
+            self._level_cache[job.job_id] = cached
+        return cached
 
     @staticmethod
     def _rejectable(sim: "Simulation", job: Job) -> bool:
@@ -172,18 +224,22 @@ class SchedulingActionSpace:
         return job.slack(sim.now, base_speed=base_speed) < 0.0
 
     # --- application -----------------------------------------------------------------
-    def apply(self, sim: "Simulation", index: int) -> bool:
+    def apply(self, sim: "Simulation", index: int,
+              views: Optional[Tuple[List[Job], List[Job]]] = None) -> bool:
         """Apply a flat action to the simulation.
 
         Returns True when the action mutated cluster state (i.e. was not
         no-op). Raises ``ValueError`` for actions invalid under the
-        current mask — agents must respect the mask.
+        current mask — agents must respect the mask. ``views`` optionally
+        supplies the ``(queue, running)`` slot views computed for this
+        state (they must be current — the vectorized environment passes
+        the pair it used to build the action mask).
         """
         action = self.decode(index)
         if action.kind is ActionKind.NOOP:
             return False
         if action.kind is ActionKind.ADMIT:
-            queue = self.queue_view(sim)
+            queue = views[0] if views is not None else self.queue_view(sim)
             if action.slot >= len(queue):
                 raise ValueError(f"admit slot {action.slot} is empty")
             job = queue[action.slot]
@@ -192,7 +248,7 @@ class SchedulingActionSpace:
             sim.pending.remove(job)
             return True
         if action.kind is ActionKind.REJECT:
-            queue = self.queue_view(sim)
+            queue = views[0] if views is not None else self.queue_view(sim)
             if action.slot >= len(queue):
                 raise ValueError(f"reject slot {action.slot} is empty")
             job = queue[action.slot]
@@ -208,7 +264,7 @@ class SchedulingActionSpace:
             sim.log.record(Event(sim.now, EventKind.DROP, job.job_id,
                                  detail="policy-reject"))
             return True
-        running = self.running_view(sim)
+        running = views[1] if views is not None else self.running_view(sim)
         if action.slot >= len(running):
             raise ValueError(f"{action.kind.value} slot {action.slot} is empty")
         job = running[action.slot]

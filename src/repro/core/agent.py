@@ -42,6 +42,11 @@ class DRLScheduler:
         self.greedy = greedy
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.name = "drl"
+        # Kernel contract (repro.sim.kernel): with nothing pending and
+        # nothing running the mask admits only no-op, and greedy decoding
+        # draws no randomness — so greedy DRL is idle-quiescent.
+        # Stochastic decoding consumes RNG every call and never is.
+        self.quiescence = "idle" if greedy else "none"
 
     def schedule(self, sim: "Simulation") -> None:
         """Decode actions for the current tick until no-op or budget."""

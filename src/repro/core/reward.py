@@ -41,8 +41,11 @@ class RewardWeights:
 
 def job_ideal_duration(job, base_speeds: Dict[str, float]) -> float:
     """Best-case duration: max parallelism on the job's fastest platform."""
+    from repro.sim.speedup import cached_speedup
+
+    s = cached_speedup(job.speedup_model, job.max_parallelism)
     best_rate = max(
-        job.affinity[p] * base_speeds[p] * job.speedup_model.speedup(job.max_parallelism)
+        job.affinity[p] * base_speeds[p] * s
         for p in job.affinity
         if p in base_speeds
     )
@@ -55,21 +58,33 @@ def tick_reward(
     newly_missed: int,
     newly_missed_weight: float,
     utilization: float,
+    ideal_cache: "dict | None" = None,
 ) -> float:
     """Reward for one simulator tick (computed *after* the tick advanced).
 
     ``newly_missed`` / ``newly_missed_weight`` are the count and total
     weight of jobs whose deadline passed during this tick; the caller
     (the environment) tracks them from the event log.
+
+    ``ideal_cache`` optionally memoizes each job's (static) ideal
+    duration across ticks, keyed by job id — the environment passes a
+    per-episode dict so the slowdown shaping term costs one dict hit per
+    live job instead of recomputing the best-platform rate every tick.
     """
-    base_speeds = {name: p.base_speed for name, p in sim.cluster.platforms.items()}
+    base_speeds = None
     r = 0.0
     if weights.slowdown > 0:
         shaping = 0.0
-        for job in sim.pending:
-            shaping += job.weight / max(job_ideal_duration(job, base_speeds), 1e-9)
-        for job in sim.running:
-            shaping += job.weight / max(job_ideal_duration(job, base_speeds), 1e-9)
+        for job in list(sim.pending) + sim.running:
+            ideal = None if ideal_cache is None else ideal_cache.get(job.job_id)
+            if ideal is None:
+                if base_speeds is None:
+                    base_speeds = {name: p.base_speed
+                                   for name, p in sim.cluster.platforms.items()}
+                ideal = job_ideal_duration(job, base_speeds)
+                if ideal_cache is not None:
+                    ideal_cache[job.job_id] = ideal
+            shaping += job.weight / max(ideal, 1e-9)
         r -= weights.slowdown * shaping
     if weights.miss > 0 and newly_missed:
         r -= weights.miss * newly_missed_weight

@@ -22,12 +22,12 @@ policy network sees bounded inputs at any load.
 
 from __future__ import annotations
 
-from typing import List, TYPE_CHECKING
+import math
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.config import CoreConfig
-from repro.core.reward import job_ideal_duration
 from repro.core.views import queue_view, running_view
 from repro.sim.job import Job
 
@@ -62,6 +62,17 @@ class StateEncoder:
         self.time_scale = float(time_scale if time_scale is not None else config.horizon)
         self.clip = clip
         self.P = len(self.platform_names)
+        self._pidx = {p: i for i, p in enumerate(self.platform_names)}
+        # Per-job static feature cache (keyed by globally-unique job_id):
+        # best platform speed/rate, ideal duration, and the static queue
+        # columns. Guarded by the cluster's base-speed signature so an
+        # encoder reused across differently-specced clusters stays correct.
+        self._job_cache: dict = {}
+        self._qrow_cache: dict = {}
+        self._rrow_cache: dict = {}
+        self._span_cache: dict = {}
+        self._slack_cache: dict = {}
+        self._speeds_sig: Optional[tuple] = None
 
     @property
     def obs_dim(self) -> int:
@@ -75,97 +86,249 @@ class StateEncoder:
         )
 
     # --- encoding --------------------------------------------------------------
-    def encode(self, sim: "Simulation") -> np.ndarray:
-        """Build the observation for the simulation's current state."""
-        cfg = self.config
-        parts = [
-            self._cluster_image(sim),
-            self._queue_features(sim),
-            self._running_features(sim),
-            self._global_features(sim),
-        ]
-        obs = np.concatenate(parts)
-        assert obs.shape == (self.obs_dim,)
+    def encode(self, sim: "Simulation",
+               views: Optional[Tuple[List[Job], List[Job]]] = None) -> np.ndarray:
+        """Build the observation for the simulation's current state.
+
+        ``views`` optionally supplies precomputed ``(queue, running)``
+        slot views (see :func:`repro.core.views.slot_views`) so callers
+        that also compute an action mask can share the sort work.
+        """
+        obs = np.zeros(self.obs_dim)
+        self._encode_into(sim, obs, views)
         return np.clip(obs, -self.clip, self.clip)
 
-    def _cluster_image(self, sim: "Simulation") -> np.ndarray:
+    def encode_batch(
+        self,
+        sims: Sequence["Simulation"],
+        views: Optional[Sequence[Tuple[List[Job], List[Job]]]] = None,
+    ) -> np.ndarray:
+        """Stacked observations for a batch of simulations, shape ``(B, D)``.
+
+        Feature values are identical to per-sim :meth:`encode`; the win is
+        batching the fixed-cost numpy work (allocation, clipping) across
+        the batch — the vectorized environment's encode hot path.
+        """
         cfg = self.config
-        H = cfg.horizon
-        image = np.zeros((self.P, 1 + H))
-        caps = np.array([sim.cluster.capacity(p) for p in self.platform_names], dtype=float)
+        obs = np.zeros((len(sims), self.obs_dim))
+        end_image = self.P * (1 + cfg.horizon)
+        end_queue = end_image + cfg.queue_slots * (self.QUEUE_BASE_FEATURES + self.P)
+        end_running = end_queue + cfg.running_slots * self.RUNNING_FEATURES
+        # Block views reshaped once for the whole batch (per-row reshapes
+        # are a measurable fixed cost on the rollout hot path).
+        image = obs[:, :end_image].reshape(-1, self.P, 1 + cfg.horizon)
+        queue_f = obs[:, end_image:end_queue].reshape(
+            -1, cfg.queue_slots, self.QUEUE_BASE_FEATURES + self.P)
+        running_f = obs[:, end_queue:end_running].reshape(
+            -1, cfg.running_slots, self.RUNNING_FEATURES)
+        global_f = obs[:, end_running:]
+        for i, sim in enumerate(sims):
+            self._check_speeds(sim)
+            queue, running = views[i] if views is not None else (
+                queue_view(sim, cfg.queue_slots),
+                running_view(sim, cfg.running_slots))
+            self._cluster_image(sim, image[i])
+            self._queue_features(sim, queue, queue_f[i])
+            self._running_features(sim, running, running_f[i])
+            self._global_features(sim, global_f[i])
+        np.clip(obs, -self.clip, self.clip, out=obs)
+        return obs
+
+    def _encode_into(self, sim: "Simulation", out: np.ndarray,
+                     views: Optional[Tuple[List[Job], List[Job]]] = None) -> None:
+        """Fill one pre-zeroed observation row (unclipped)."""
+        cfg = self.config
+        self._check_speeds(sim)
+        queue, running = views if views is not None else (
+            queue_view(sim, cfg.queue_slots), running_view(sim, cfg.running_slots))
+        end_image = self.P * (1 + cfg.horizon)
+        end_queue = end_image + cfg.queue_slots * (self.QUEUE_BASE_FEATURES + self.P)
+        end_running = end_queue + cfg.running_slots * self.RUNNING_FEATURES
+        self._cluster_image(sim, out[:end_image].reshape(self.P, 1 + cfg.horizon))
+        self._queue_features(
+            sim, queue,
+            out[end_image:end_queue].reshape(cfg.queue_slots,
+                                             self.QUEUE_BASE_FEATURES + self.P))
+        self._running_features(
+            sim, running,
+            out[end_queue:end_running].reshape(cfg.running_slots,
+                                               self.RUNNING_FEATURES))
+        self._global_features(sim, out[end_running:])
+
+    def _check_speeds(self, sim: "Simulation") -> None:
+        """Invalidate every job-keyed cache if the cluster's platform
+        specs (base speed or capacity — the span cache embeds occupancy
+        fractions) differ from the ones the caches were built against."""
+        sig = tuple((p.base_speed, p.capacity)
+                    for p in map(sim.cluster.platforms.__getitem__,
+                                 self.platform_names))
+        if sig != self._speeds_sig:
+            self._speeds_sig = sig
+            self._job_cache.clear()
+            self._qrow_cache.clear()
+            self._rrow_cache.clear()
+            self._span_cache.clear()
+            self._slack_cache.clear()
+
+    def _cluster_image(self, sim: "Simulation", image: np.ndarray) -> None:
+        H = self.config.horizon
+        cluster = sim.cluster
+        caps = [cluster.platforms[p].capacity for p in self.platform_names]
         for i, p in enumerate(self.platform_names):
-            image[i, 0] = sim.cluster.free_units(p) / caps[i]
-        for alloc_job in sim.running:
-            alloc = sim.cluster.allocation_of(alloc_job)
-            if alloc is None:  # pragma: no cover - defensive
-                continue
-            i = self.platform_names.index(alloc.platform)
-            platform = sim.cluster.platforms[alloc.platform]
-            rate = alloc_job.rate_on(alloc.platform, alloc.parallelism, platform.base_speed)
-            remaining_ticks = int(np.ceil(alloc_job.remaining_work / max(rate, 1e-9)))
-            span = min(remaining_ticks, H)
+            image[i, 0] = cluster.free_units(p) / caps[i]
+        # Difference-array trick: each job's occupancy run [1, 1+span)
+        # becomes two endpoint writes, and one cumulative sum per platform
+        # materializes all runs — O(jobs + H) instead of O(jobs * H).
+        # (i, span, frac) per allocation is memoized on (platform, k,
+        # progress): within a tick the agent takes several actions, so the
+        # same projections recur across consecutive encodes.
+        any_runs = False
+        cache = self._span_cache
+        for alloc in cluster._allocations.values():
+            alloc_job = alloc.job
+            key = (alloc_job.job_id, alloc.platform, alloc.parallelism,
+                   alloc_job.progress)
+            entry = cache.get(key)
+            if entry is None:
+                i = self._pidx[alloc.platform]
+                platform = cluster.platforms[alloc.platform]
+                rate = alloc_job.rate_on(alloc.platform, alloc.parallelism,
+                                         platform.base_speed)
+                span = min(math.ceil(alloc_job.remaining_work / max(rate, 1e-9)), H)
+                entry = (i, span, alloc.parallelism / caps[i])
+                if len(cache) > 50_000:
+                    cache.clear()
+                cache[key] = entry
+            i, span, frac = entry
             if span > 0:
-                image[i, 1 : 1 + span] += alloc.parallelism / caps[i]
-        return image.ravel()
+                image[i, 1] += frac
+                if span < H:
+                    image[i, 1 + span] -= frac
+                any_runs = True
+        if any_runs:
+            np.cumsum(image[:, 1:], axis=1, out=image[:, 1:])
 
-    def _queue_features(self, sim: "Simulation") -> np.ndarray:
-        cfg = self.config
-        base_speeds = {n: p.base_speed for n, p in sim.cluster.platforms.items()}
-        width = self.QUEUE_BASE_FEATURES + self.P
-        out = np.zeros((cfg.queue_slots, width))
-        for m, job in enumerate(queue_view(sim, cfg.queue_slots)):
-            ideal = job_ideal_duration(job, base_speeds)
-            time_left = job.deadline - sim.now
-            span = max(job.max_parallelism - job.min_parallelism, 0)
-            out[m, 0] = 1.0
-            out[m, 1] = job.remaining_work / self.work_scale
-            out[m, 2] = job.min_parallelism / 8.0
-            out[m, 3] = job.max_parallelism / 8.0
-            out[m, 4] = span / 8.0
-            out[m, 5] = job.slack(sim.now, base_speed=self._best_speed(job, sim)) / self.time_scale
-            out[m, 6] = time_left / max(ideal, 1e-9) / 4.0   # tightness ratio
-            out[m, 7] = (sim.now - job.arrival_time) / self.time_scale
-            out[m, 8] = job.weight / 2.0
-            for i, p in enumerate(self.platform_names):
-                out[m, self.QUEUE_BASE_FEATURES + i] = job.affinity.get(p, 0.0) / 4.0
-        return out.ravel()
+    def _queue_features(self, sim: "Simulation", queue: List[Job],
+                        out: np.ndarray) -> None:
+        now = sim.now
+        cache = self._qrow_cache
+        for m, job in enumerate(queue):
+            # A pending job's whole row is a function of (job, now,
+            # remaining work); within one tick the agent takes several
+            # actions, so rows repeat across consecutive encodes.
+            key = (job.job_id, now, job.progress)
+            row = cache.get(key)
+            if row is None:
+                best_rate, ideal, qa, qb = self._job_statics(job, sim)
+                row = np.empty(out.shape[1])
+                row[0] = 1.0
+                row[1] = job.remaining_work / self.work_scale
+                row[2:5] = qa
+                row[5] = ((job.deadline - now) - job.remaining_work / best_rate) \
+                    / self.time_scale
+                row[6] = (job.deadline - now) / max(ideal, 1e-9) / 4.0  # tightness
+                row[7] = (now - job.arrival_time) / self.time_scale
+                row[8:] = qb
+                if len(cache) > 50_000:
+                    cache.clear()
+                cache[key] = row
+            out[m, :] = row
 
-    def _running_features(self, sim: "Simulation") -> np.ndarray:
-        cfg = self.config
-        out = np.zeros((cfg.running_slots, self.RUNNING_FEATURES))
-        for k, job in enumerate(running_view(sim, cfg.running_slots)):
-            alloc = sim.cluster.allocation_of(job)
+    def _running_features(self, sim: "Simulation", running: List[Job],
+                          out: np.ndarray) -> None:
+        cluster = sim.cluster
+        now = sim.now
+        free = {p: cluster.free_units(p) for p in self.platform_names} \
+            if running else {}
+        cache = self._rrow_cache
+        for k, job in enumerate(running):
+            alloc = cluster.allocation_of(job)
             if alloc is None:  # pragma: no cover - defensive
                 continue
-            platform = sim.cluster.platforms[alloc.platform]
-            rate = job.rate_on(alloc.platform, alloc.parallelism, platform.base_speed)
-            remaining_ticks = job.remaining_work / max(rate, 1e-9)
-            span = max(job.max_parallelism - job.min_parallelism, 1)
-            out[k, 0] = 1.0
-            out[k, 1] = job.remaining_work / self.work_scale
-            out[k, 2] = (job.deadline - sim.now - remaining_ticks) / self.time_scale
-            out[k, 3] = (alloc.parallelism - job.min_parallelism) / span
-            out[k, 4] = 1.0 if sim.cluster.can_grow(job, 1) else 0.0
-            out[k, 5] = 1.0 if sim.cluster.can_shrink(job, 1) else 0.0
-            out[k, 6] = rate / 8.0
-            out[k, 7] = 1.0 if sim.now > job.deadline else 0.0
-        return out.ravel()
+            par = alloc.parallelism
+            growable = par + 1 <= job.max_parallelism and free[alloc.platform] >= 1
+            # The full row is determined by (job, now, progress, placement,
+            # growability); intra-tick action substeps hit the memo.
+            key = (job.job_id, now, job.progress, alloc.platform, par, growable)
+            row = cache.get(key)
+            if row is None:
+                platform = cluster.platforms[alloc.platform]
+                rate = job.rate_on(alloc.platform, par, platform.base_speed)
+                remaining = job.remaining_work
+                span = max(job.max_parallelism - job.min_parallelism, 1)
+                row = (
+                    1.0,
+                    remaining / self.work_scale,
+                    (job.deadline - now - remaining / max(rate, 1e-9))
+                    / self.time_scale,
+                    (par - job.min_parallelism) / span,
+                    1.0 if growable else 0.0,
+                    1.0 if par - 1 >= job.min_parallelism else 0.0,
+                    rate / 8.0,
+                    1.0 if now > job.deadline else 0.0,
+                )
+                if len(cache) > 50_000:
+                    cache.clear()
+                cache[key] = row
+            out[k, :] = row
 
-    def _global_features(self, sim: "Simulation") -> np.ndarray:
+    def _global_features(self, sim: "Simulation", out: np.ndarray) -> None:
         cfg = self.config
+        now = sim.now
         backlog = max(len(sim.pending) - cfg.queue_slots, 0)
-        pending_slacks = [
-            job.slack(sim.now, base_speed=self._best_speed(job, sim))
-            for job in sim.pending
-        ]
-        mean_slack = float(np.mean(pending_slacks)) if pending_slacks else 0.0
-        return np.array([
-            backlog / max(cfg.queue_slots, 1),
-            min(sim.num_future / 50.0, 1.0),
-            mean_slack / self.time_scale,
-            sim.cluster.utilization(),
-        ])
+        mean_slack = 0.0
+        if sim.pending:
+            total = 0.0
+            cache = self._slack_cache
+            for job in sim.pending:
+                key = (job.job_id, now, job.progress)
+                s = cache.get(key)
+                if s is None:
+                    best_rate = self._job_statics(job, sim)[0]
+                    s = (job.deadline - now) - job.remaining_work / best_rate
+                    if len(cache) > 50_000:
+                        cache.clear()
+                    cache[key] = s
+                total += s
+            mean_slack = total / len(sim.pending)
+        out[0] = backlog / max(cfg.queue_slots, 1)
+        out[1] = min(sim.num_future / 50.0, 1.0)
+        out[2] = mean_slack / self.time_scale
+        out[3] = sim.cluster.utilization()
 
-    def _best_speed(self, job: Job, sim: "Simulation") -> float:
-        best_platform = max(job.affinity, key=job.affinity.get)
-        return sim.cluster.platforms[best_platform].base_speed
+    def _job_statics(self, job: Job, sim: "Simulation") -> tuple:
+        """Cached static per-job features: best-case rate, ideal duration,
+        and the time-invariant queue columns.
+
+        Valid while the cluster's base speeds are unchanged (job ids are
+        globally unique, so entries never alias across episodes); the
+        signature check in :meth:`_encode_into` clears the cache when an
+        encoder is reused against a differently-specced cluster.
+        """
+        entry = self._job_cache.get(job.job_id)
+        if entry is None:
+            from repro.core.reward import job_ideal_duration
+            from repro.sim.speedup import cached_speedup
+
+            platforms = sim.cluster.platforms
+            aff = job.affinity
+            best_platform = max(aff, key=aff.get)
+            best_speed = platforms[best_platform].base_speed
+            s_max = cached_speedup(job.speedup_model, job.max_parallelism)
+            best_rate = aff[best_platform] * best_speed * s_max
+            # Ideal duration comes from the reward module so the tightness
+            # feature can never drift from the reward's slowdown shaping.
+            ideal = job_ideal_duration(
+                job, {p: platforms[p].base_speed for p in aff if p in platforms})
+            span = max(job.max_parallelism - job.min_parallelism, 0)
+            qa = np.array([job.min_parallelism / 8.0, job.max_parallelism / 8.0,
+                           span / 8.0])
+            qb = np.empty(1 + self.P)
+            qb[0] = job.weight / 2.0
+            for i, p in enumerate(self.platform_names):
+                qb[1 + i] = aff.get(p, 0.0) / 4.0
+            if len(self._job_cache) > 100_000:  # bound long-training growth
+                self._job_cache.clear()
+            entry = (best_rate, ideal, qa, qb)
+            self._job_cache[job.job_id] = entry
+        return entry

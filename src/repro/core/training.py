@@ -57,6 +57,7 @@ def train_scheduler(
     warm_start_episodes: int = 8,
     val_traces: Optional[Sequence[List[Job]]] = None,
     eval_every: int = 10,
+    num_envs: int = 1,
 ) -> TrainResult:
     """Train a scheduling policy on ``env`` with the chosen algorithm.
 
@@ -75,9 +76,16 @@ def train_scheduler(
     :class:`DRLScheduler` adapter ready for head-to-head evaluation
     against the heuristic baselines. DQN has no CategoricalPolicy, so its
     ``scheduler`` is ``None`` — E12 evaluates it through the env instead.
+
+    With ``num_envs > 1``, each iteration's episodes are collected through
+    a :class:`~repro.rl.vec_env.VecEnv` of that many sibling environments
+    stepped in lockstep with batched action selection — the same number
+    of episodes per update at a fraction of the wall-clock cost.
     """
     if algo not in _ALGOS:
         raise ValueError(f"unknown algo {algo!r}; choose from {sorted(_ALGOS)}")
+    if num_envs < 1:
+        raise ValueError("num_envs must be >= 1")
     agent_cls, config_cls = _ALGOS[algo]
     if algo_config is None:
         algo_config = config_cls()
@@ -89,6 +97,16 @@ def train_scheduler(
         from repro.core.imitation import warm_start as _warm_start
 
         _warm_start(agent, env, rng, episodes=warm_start_episodes)
+
+    train_target = env
+    if num_envs > 1:
+        from repro.rl.vec_env import VecEnv
+
+        # More environments than episodes per iteration is pure discarded
+        # work: the collector stops at the episode quota and drops the
+        # other environments' in-flight partials.
+        train_target = VecEnv.from_env(env, min(num_envs, episodes_per_iter),
+                                       base_seed=seed)
 
     platform_names = [p.name for p in env.factory.platforms]
     use_selection = val_traces is not None and hasattr(agent, "policy")
@@ -111,7 +129,7 @@ def train_scheduler(
         done = 0
         while done < iterations:
             chunk = min(eval_every, iterations - done)
-            history.extend(agent.train(env, iterations=chunk,
+            history.extend(agent.train(train_target, iterations=chunk,
                                        episodes_per_iter=episodes_per_iter,
                                        max_steps=max_steps))
             done += chunk
@@ -121,7 +139,7 @@ def train_scheduler(
                 best_params = get_flat_params(agent.policy.net)
         set_flat_params(agent.policy.net, best_params)
     else:
-        history = agent.train(env, iterations=iterations,
+        history = agent.train(train_target, iterations=iterations,
                               episodes_per_iter=episodes_per_iter,
                               max_steps=max_steps)
 
@@ -162,6 +180,7 @@ def evaluate_scheduler_runs(
     fault_models=None,
     power_models=None,
     fault_seed: int = 9000,
+    engine: str = "tick",
 ) -> List[Simulation]:
     """Like :func:`evaluate_scheduler` but returns the finished simulations.
 
@@ -173,6 +192,10 @@ def evaluate_scheduler_runs(
     fault process is *paired across schedulers* evaluated on the same
     traces. ``power_models`` (platform -> :class:`~repro.sim.PowerModel`)
     attaches an energy meter.
+
+    ``engine`` picks the simulation driver (``"tick"`` or ``"event"``);
+    both produce identical results, the event kernel fast-forwards idle
+    stretches (see :mod:`repro.sim.kernel`).
     """
     sims: List[Simulation] = []
     for i, trace in enumerate(traces):
@@ -192,7 +215,7 @@ def evaluate_scheduler_runs(
             SimulationConfig(drop_on_miss=drop_on_miss, horizon=max_ticks),
             fault_injector=injector, energy_meter=meter,
         )
-        sim.run_policy(policy, max_ticks=max_ticks)
+        sim.run_policy(policy, max_ticks=max_ticks, engine=engine)
         sims.append(sim)
     return sims
 
@@ -206,6 +229,7 @@ def evaluate_scheduler(
     fault_models=None,
     power_models=None,
     fault_seed: int = 9000,
+    engine: str = "tick",
 ) -> List[MetricsReport]:
     """Run ``policy`` (baseline or :class:`DRLScheduler`) over fixed traces.
 
@@ -217,6 +241,6 @@ def evaluate_scheduler(
     sims = evaluate_scheduler_runs(
         policy, platforms, traces, drop_on_miss=drop_on_miss,
         max_ticks=max_ticks, fault_models=fault_models,
-        power_models=power_models, fault_seed=fault_seed,
+        power_models=power_models, fault_seed=fault_seed, engine=engine,
     )
     return [sim.metrics() for sim in sims]

@@ -18,7 +18,7 @@ from repro.sim.job import Job
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.simulation import Simulation
 
-__all__ = ["queue_view", "running_view"]
+__all__ = ["queue_view", "running_view", "slot_views"]
 
 
 def queue_view(sim: "Simulation", limit: int) -> List[Job]:
@@ -45,13 +45,34 @@ def running_view(sim: "Simulation", limit: int) -> List[Job]:
     Slack here is ``(deadline - now) - remaining/rate`` with the job's
     *current* allocation — the natural urgency order for grow decisions.
     """
+    now = sim.now
+
     def slack(job: Job) -> float:
         alloc = sim.cluster.allocation_of(job)
         if alloc is None:  # pragma: no cover - defensive
             return float("inf")
+        memo = job._slack_memo
+        if memo is not None and memo[0] == now and memo[1] == job.progress \
+                and memo[2] == alloc.parallelism and memo[3] == alloc.platform:
+            return memo[4]
         base = sim.cluster.platforms[alloc.platform].base_speed
         rate = job.rate_on(alloc.platform, alloc.parallelism, base)
-        return (job.deadline - sim.now) - job.remaining_work / max(rate, 1e-9)
+        value = (job.deadline - now) - job.remaining_work / max(rate, 1e-9)
+        job._slack_memo = (now, job.progress, alloc.parallelism, alloc.platform,
+                           value)
+        return value
 
     ordered = sorted(sim.running, key=lambda j: (slack(j), j.job_id))
     return ordered[:limit]
+
+
+def slot_views(sim: "Simulation", queue_limit: int,
+               running_limit: int) -> "tuple[List[Job], List[Job]]":
+    """Both slot views at once.
+
+    The encoder and the action-space mask each need both views at every
+    decision point; computing them once per state (the vectorized
+    environment caches the pair per step) halves the sort work on the
+    rollout hot path.
+    """
+    return queue_view(sim, queue_limit), running_view(sim, running_limit)

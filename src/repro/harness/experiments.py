@@ -131,6 +131,7 @@ def train_drl(
     warm_start: bool = True,
     n_val_traces: int = 3,
     val_seed_base: int = 700,
+    num_envs: int = 1,
 ) -> DRLScheduler:
     """Train a policy on fixed traces of ``scenario`` (DeepRM recipe).
 
@@ -139,6 +140,9 @@ def train_drl(
     caller — evaluation traces. By default the policy is behavior-cloned
     from the elastic teacher before PPO fine-tuning
     (:mod:`repro.core.imitation`).
+
+    ``num_envs > 1`` collects each iteration's episodes through a
+    :class:`~repro.rl.vec_env.VecEnv` (batched lockstep rollouts).
     """
     train_traces = scenario.traces(n_train_traces, base_seed=train_seed_base)
     val_traces = scenario.traces(n_val_traces, base_seed=val_seed_base)
@@ -148,7 +152,7 @@ def train_drl(
     result = train_scheduler(
         env, algo=algo, iterations=iterations, episodes_per_iter=4,
         algo_config=algo_config, seed=seed, warm_start=warm_start,
-        val_traces=val_traces, eval_every=10,
+        val_traces=val_traces, eval_every=10, num_envs=num_envs,
     )
     if result.scheduler is None:
         raise ValueError(f"algo {algo!r} does not yield a DRLScheduler")

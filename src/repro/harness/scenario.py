@@ -31,10 +31,29 @@ class Scenario:
     load: float
     core: CoreConfig = field(default_factory=CoreConfig)
     max_ticks: int = 500
+    engine: str = "tick"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("tick", "event"):
+            raise ValueError(f"engine must be 'tick' or 'event', got {self.engine!r}")
 
     def with_load(self, load: float) -> "Scenario":
         """Same scenario at a different offered load."""
         return replace(self, load=load)
+
+    def with_engine(self, engine: str) -> "Scenario":
+        """Same scenario driven by a different simulation engine.
+
+        ``"event"`` selects the event-driven kernel
+        (:mod:`repro.sim.kernel`). Evaluation sweeps are bit-identical
+        across engines. For RL *training* the event engine macro-steps
+        fully idle stretches: episode returns and metrics are unchanged
+        (idle ticks are worth exactly zero reward), but a stochastic
+        policy sees fewer forced-noop decisions, so its RNG stream — and
+        hence the exact trained weights for a given seed — differs from
+        the tick engine.
+        """
+        return replace(self, engine=engine)
 
     def with_tightness(self, scale: float) -> "Scenario":
         """Same scenario with deadlines scaled by ``scale`` (E4's dial)."""
@@ -65,6 +84,7 @@ class Scenario:
             max_ticks=self.max_ticks,
             seed=seed,
             work_scale=work_scale,
+            engine=self.engine,
         )
 
     def eval_env(self, traces: Sequence[List[Job]], seed: int = 0,
@@ -76,6 +96,7 @@ class Scenario:
             max_ticks=self.max_ticks,
             seed=seed,
             work_scale=work_scale,
+            engine=self.engine,
         )
 
 
@@ -88,6 +109,7 @@ def standard_scenario(
     classes: Optional[Sequence[JobClass]] = None,
     core: Optional[CoreConfig] = None,
     max_ticks: int = 500,
+    engine: str = "tick",
 ) -> Scenario:
     """The canonical two-platform scenario of the experiment suite.
 
@@ -106,4 +128,5 @@ def standard_scenario(
         load=load,
         core=core if core is not None else CoreConfig(),
         max_ticks=max_ticks,
+        engine=engine,
     )

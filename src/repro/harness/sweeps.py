@@ -36,7 +36,8 @@ def sweep_schedulers(
         for sched_name, factory in schedulers.items():
             policy = factory(scenario)
             reports = evaluate_scheduler(policy, scenario.platforms, traces,
-                                         max_ticks=ticks)
+                                         max_ticks=ticks,
+                                         engine=scenario.engine)
             for i, rep in enumerate(reports):
                 raw.append({
                     "scenario": scen_name,

@@ -17,7 +17,8 @@ from repro.rl.returns import (
 )
 from repro.rl.running_norm import RunningMeanStd
 from repro.rl.policies import CategoricalPolicy, ValueFunction
-from repro.rl.rollout import RolloutBuffer, Transition
+from repro.rl.rollout import RolloutBuffer, Transition, collect_vec_episodes
+from repro.rl.vec_env import VecEnv
 from repro.rl.replay import ReplayBuffer
 from repro.rl.prioritized import PrioritizedReplayBuffer
 from repro.rl.schedules import (
@@ -38,7 +39,8 @@ __all__ = [
     "discounted_returns", "n_step_returns", "gae_advantages",
     "normalize_advantages", "RunningMeanStd",
     "CategoricalPolicy", "ValueFunction",
-    "RolloutBuffer", "Transition", "ReplayBuffer", "PrioritizedReplayBuffer",
+    "RolloutBuffer", "Transition", "collect_vec_episodes", "VecEnv",
+    "ReplayBuffer", "PrioritizedReplayBuffer",
     "Schedule", "ConstantSchedule", "LinearSchedule", "ExponentialSchedule",
     "CosineSchedule", "PiecewiseSchedule",
     "ReinforceAgent", "ReinforceConfig",

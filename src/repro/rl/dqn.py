@@ -155,6 +155,22 @@ class DQNAgent:
             return int(self.rng.choice(valid)), 0.0
         return int(np.argmax(self.q_values(obs, mask))), 0.0
 
+    def act_batch(self, obs: np.ndarray, masks: np.ndarray,
+                  greedy: bool = False) -> np.ndarray:
+        """Epsilon-greedy actions for a batch of observations.
+
+        One Q-network forward serves the whole batch; exploration is
+        drawn per row. Returns an ``(B,)`` action array.
+        """
+        q = self.q_net.forward(np.atleast_2d(obs))
+        q = np.where(masks, q, MASK_VALUE)
+        actions = np.argmax(q, axis=1)
+        if not greedy:
+            explore = self.rng.random(actions.shape[0]) < self.epsilon()
+            for i in np.flatnonzero(explore):
+                actions[i] = int(self.rng.choice(np.flatnonzero(masks[i])))
+        return actions.astype(np.intp)
+
     # --- learning ---------------------------------------------------------------
     def _sync_target(self) -> None:
         for tp, p in zip(self.target_net.params(), self.q_net.params()):
@@ -207,7 +223,17 @@ class DQNAgent:
         episodes_per_iter: int = 4,
         max_steps: int = 1000,
     ) -> List[Dict[str, float]]:
-        """Env-interleaved training loop matching the on-policy agents' API."""
+        """Env-interleaved training loop matching the on-policy agents' API.
+
+        ``env`` may also be a :class:`~repro.rl.vec_env.VecEnv`: the same
+        number of episodes per iteration is then gathered by stepping the
+        batch in lockstep with batched action selection, pushing every
+        transition into replay.
+        """
+        from repro.rl.vec_env import VecEnv
+
+        if isinstance(env, VecEnv):
+            return self._train_vec(env, iterations, episodes_per_iter, max_steps)
         history: List[Dict[str, float]] = []
         for _ in range(iterations):
             ep_returns = []
@@ -236,6 +262,55 @@ class DQNAgent:
                 ep_returns.append(total)
             history.append({
                 "episode_return": float(np.mean(ep_returns)),
+                "loss": float(np.mean(losses)) if losses else 0.0,
+                "epsilon": self.epsilon(),
+            })
+        return history
+
+    def _train_vec(self, vec_env, iterations: int, episodes_per_iter: int,
+                   max_steps: int) -> List[Dict[str, float]]:
+        """Lockstep-batched variant of the training loop."""
+        num = vec_env.num_envs
+        ones = np.ones(self.n_actions, dtype=bool)
+        history: List[Dict[str, float]] = []
+        for _ in range(iterations):
+            ep_returns: List[float] = []
+            losses: List[float] = []
+            obs = vec_env.reset()
+            masks = vec_env.action_masks()
+            totals = np.zeros(num)
+            steps = np.zeros(num, dtype=int)
+            while len(ep_returns) < episodes_per_iter:
+                actions = self.act_batch(obs, masks)
+                next_obs, rewards, dones, _ = vec_env.step(actions)
+                next_masks = vec_env.action_masks()
+                truncated = False
+                for i in range(num):
+                    # Terminal next-masks are unused by the target (the
+                    # done flag zeroes the bootstrap), mirror the serial
+                    # loop's all-ones placeholder.
+                    next_mask = ones if dones[i] else next_masks[i]
+                    self.buffer.add(obs[i], int(actions[i]), float(rewards[i]),
+                                    next_obs[i], bool(dones[i]), next_mask)
+                    self.total_env_steps += 1
+                    if self.total_env_steps % self.config.train_every == 0:
+                        loss = self.learn_step()
+                        if loss is not None:
+                            losses.append(loss)
+                    totals[i] += rewards[i]
+                    steps[i] += 1
+                    if dones[i] or steps[i] >= max_steps:
+                        ep_returns.append(float(totals[i]))
+                        totals[i] = 0.0
+                        steps[i] = 0
+                        if not dones[i]:  # truncation: force a fresh episode
+                            next_obs[i] = vec_env.reset_env(i)
+                            truncated = True
+                if truncated:
+                    next_masks = vec_env.action_masks()
+                obs, masks = next_obs, next_masks
+            history.append({
+                "episode_return": float(np.mean(ep_returns[:episodes_per_iter])),
                 "loss": float(np.mean(losses)) if losses else 0.0,
                 "epsilon": self.epsilon(),
             })

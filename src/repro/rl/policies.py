@@ -78,6 +78,43 @@ class CategoricalPolicy:
             action = int(rng.choice(p.shape[0], p=p))
         return action, float(np.log(max(p[action], 1e-12)))
 
+    def act_batch(
+        self,
+        obs: np.ndarray,
+        rng: np.random.Generator,
+        masks: Optional[np.ndarray] = None,
+        greedy: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample (or argmax) one action per row of a batched observation.
+
+        One network forward and one RNG draw serve the whole batch — the
+        vectorized-rollout counterpart of :meth:`act`. Returns
+        ``(actions, log_probs)`` with shape ``(B,)`` each.
+        """
+        logits = self.net.forward(obs)
+        if masks is not None:
+            # (Fresh array: layer caches must not be mutated in place.)
+            logits = np.where(masks, logits, MASK_VALUE)
+        p = softmax(logits, axis=-1)
+        if greedy:
+            actions = np.argmax(p, axis=-1)
+        else:
+            p /= p.sum(axis=-1, keepdims=True)
+            # Vectorized categorical sampling by inverse CDF.
+            u = rng.random(p.shape[0])
+            actions = (p.cumsum(axis=-1) < u[:, None]).sum(axis=-1)
+            actions = np.minimum(actions, p.shape[1] - 1)
+            if masks is not None:
+                # Float-tail edge: if u lands past the last nonzero
+                # cumulative bin the count can point at a masked slot;
+                # fall back to the row argmax (always valid).
+                rows = np.arange(p.shape[0])
+                bad = ~np.atleast_2d(masks)[rows, actions]
+                if bad.any():
+                    actions[bad] = np.argmax(p[bad], axis=-1)
+        log_probs = np.log(np.maximum(p[np.arange(p.shape[0]), actions], 1e-12))
+        return actions.astype(np.intp), log_probs
+
     def log_probs_and_entropy(
         self,
         obs: np.ndarray,

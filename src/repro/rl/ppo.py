@@ -16,7 +16,7 @@ from repro.nn.utils import clip_gradients_
 from repro.rl.env import Env
 from repro.rl.policies import CategoricalPolicy, ValueFunction
 from repro.rl.returns import gae_advantages, normalize_advantages
-from repro.rl.rollout import RolloutBuffer, Transition
+from repro.rl.rollout import RolloutBuffer, Transition, collect_vec_episodes
 
 __all__ = ["PPOConfig", "PPOAgent"]
 
@@ -165,14 +165,25 @@ class PPOAgent:
         episodes_per_iter: int = 4,
         max_steps: int = 1000,
     ) -> List[Dict[str, float]]:
-        """Standard training loop; returns per-iteration stat dicts."""
+        """Standard training loop; returns per-iteration stat dicts.
+
+        ``env`` may be a single environment (serial episode collection)
+        or a :class:`~repro.rl.vec_env.VecEnv` (batched lockstep
+        collection of the same number of episodes per iteration).
+        """
+        from repro.rl.vec_env import VecEnv
+
         history: List[Dict[str, float]] = []
         for _ in range(iterations):
             buffer = RolloutBuffer()
-            ep_returns = [
-                self.collect_episode(env, buffer, max_steps)
-                for _ in range(episodes_per_iter)
-            ]
+            if isinstance(env, VecEnv):
+                ep_returns = collect_vec_episodes(
+                    self, env, buffer, episodes_per_iter, max_steps)
+            else:
+                ep_returns = [
+                    self.collect_episode(env, buffer, max_steps)
+                    for _ in range(episodes_per_iter)
+                ]
             stats = self.update(buffer)
             stats["episode_return"] = float(np.mean(ep_returns))
             history.append(stats)

@@ -1,13 +1,16 @@
-"""On-policy rollout storage."""
+"""On-policy rollout storage and batched episode collection."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
-__all__ = ["Transition", "RolloutBuffer"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rl.vec_env import VecEnv
+
+__all__ = ["Transition", "RolloutBuffer", "collect_vec_episodes"]
 
 
 @dataclass(frozen=True)
@@ -84,3 +87,81 @@ class RolloutBuffer:
     def clear(self) -> None:
         self._transitions.clear()
         self._episode_bounds = [0]
+
+
+def collect_vec_episodes(
+    agent,
+    vec_env: "VecEnv",
+    buffer: RolloutBuffer,
+    episodes: int,
+    max_steps: int,
+    with_values: bool = True,
+    greedy: bool = False,
+) -> List[float]:
+    """Collect ``episodes`` completed episodes through a vectorized env.
+
+    Steps all environments in lockstep with **batched** action selection
+    (one policy forward + one RNG draw per step for the whole batch).
+    Value estimates, when requested, are computed *deferred*: one batched
+    ``value_fn.predict`` over each completed episode instead of a
+    one-row forward per step — identical numbers, a fraction of the cost,
+    because the networks do not change during collection.
+
+    Completed episodes are flushed to ``buffer`` in completion order; the
+    partial episodes still in flight when the quota is reached are
+    discarded (they would otherwise bias the batch toward early-episode
+    states). An episode hitting ``max_steps`` is truncated exactly like
+    the serial collectors truncate (buffer boundary without a terminal
+    flag) and its environment is reset.
+
+    Returns the per-episode undiscounted returns, in completion order.
+    """
+    policy = agent.policy
+    value_fn = getattr(agent, "value_fn", None) if with_values else None
+    num = vec_env.num_envs
+    obs = vec_env.reset()
+    # One (obs, action, reward, logp, mask) tuple appended per env per
+    # step; all scalar conversions and Transition construction happen at
+    # episode flush so the per-step loop stays lean.
+    trajectories: List[List[tuple]] = [[] for _ in range(num)]
+    returns: List[float] = []
+
+    def flush(i: int, done: bool) -> None:
+        steps_i = trajectories[i]
+        if not steps_i:
+            return
+        if value_fn is not None:
+            values = value_fn.predict(np.stack([s[0] for s in steps_i]))
+        else:
+            values = np.zeros(len(steps_i))
+        last = len(steps_i) - 1
+        total = 0.0
+        for t, (o, a, r, lp, mk) in enumerate(steps_i):
+            r = float(r)
+            total += r
+            buffer.add(Transition(
+                obs=o, action=int(a), reward=r, done=done and t == last,
+                log_prob=float(lp), value=float(values[t]), mask=mk,
+            ))
+        if not done:
+            buffer.end_episode()
+        returns.append(total)
+        trajectories[i] = []
+
+    while len(returns) < episodes:
+        masks = vec_env.action_masks()
+        actions, logps = policy.act_batch(obs, agent.rng, masks=masks,
+                                          greedy=greedy)
+        next_obs, rewards, dones, _ = vec_env.step(actions)
+        for i in range(num):
+            traj = trajectories[i]
+            traj.append((obs[i], actions[i], rewards[i], logps[i], masks[i]))
+            if len(returns) >= episodes:
+                continue  # quota met mid-step: don't flush extra episodes
+            if dones[i]:
+                flush(i, done=True)
+            elif len(traj) >= max_steps:
+                flush(i, done=False)
+                next_obs[i] = vec_env.reset_env(i)
+        obs = next_obs
+    return returns[:episodes]

@@ -26,8 +26,10 @@ from repro.sim.metrics import JobRecord, MetricsReport, compute_metrics
 from repro.sim.faults import FaultInjector, FaultModel, FaultStats
 from repro.sim.energy import EnergyMeter, PowerModel
 from repro.sim.simulation import Simulation, SimulationConfig
+from repro.sim.kernel import EventKernel, KernelStats, WakeupKind
 
 __all__ = [
+    "EventKernel", "KernelStats", "WakeupKind",
     "SpeedupModel", "LinearSpeedup", "AmdahlSpeedup", "PowerLawSpeedup",
     "Job", "JobState", "Platform", "Cluster", "Allocation",
     "Event", "EventKind", "EventLog",

@@ -8,8 +8,9 @@ utilization timeline without re-instrumenting the simulator.
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, NamedTuple, Optional
 
 __all__ = ["EventKind", "Event", "EventLog"]
 
@@ -31,9 +32,15 @@ class EventKind(enum.Enum):
     MIGRATE = "migrate"    # a running job moved to a different platform
 
 
-@dataclass(frozen=True)
-class Event:
-    """One timestamped simulator event."""
+class Event(NamedTuple):
+    """One timestamped simulator event.
+
+    A ``NamedTuple`` rather than a frozen dataclass: events are created on
+    every simulator state transition (one per tick at minimum), and tuple
+    construction is several times cheaper than a frozen dataclass's
+    ``__init__`` — this is a measurable win for the event kernel's bulk
+    tick fast-forward and for dense tick loops alike.
+    """
 
     time: int
     kind: EventKind
@@ -51,6 +58,26 @@ class EventLog:
 
     def record(self, event: Event) -> None:
         self.events.append(event)
+
+    def record_tick_span(self, start: int, end: int) -> None:
+        """Bulk-append TICK events for every time in ``[start, end]``.
+
+        Equivalent to ``record(Event(t, EventKind.TICK))`` for each tick,
+        but builds the tuples through C-level ``map``/``tuple.__new__`` —
+        the hot path of the event kernel's idle fast-forward, where this
+        is ~2x cheaper than per-event construction.
+        """
+        if end < start:
+            return
+        # The constant tail is derived from the field list so the bulk
+        # constructor keeps tracking Event if it ever grows a field.
+        tail = tuple(Event._field_defaults[f] for f in Event._fields[2:])
+        self.events += map(
+            tuple.__new__,
+            itertools.repeat(Event),
+            zip(range(start, end + 1), itertools.repeat(EventKind.TICK),
+                *(itertools.repeat(v) for v in tail)),
+        )
 
     def __len__(self) -> int:
         return len(self.events)

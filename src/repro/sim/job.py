@@ -14,7 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.sim.speedup import LinearSpeedup, SpeedupModel
+from repro.sim.speedup import LinearSpeedup, SpeedupModel, cached_speedup
 
 __all__ = ["Job", "JobState"]
 
@@ -80,6 +80,13 @@ class Job:
     shrink_count: int = field(default=0, compare=False)
     preempt_count: int = field(default=0, compare=False)
     migrate_count: int = field(default=0, compare=False)
+    # Single-slot memos: running jobs are queried with the same arguments
+    # many times per tick (state encoding, slack ordering, progress); the
+    # underlying allocation changes far less often. ``_rate_memo`` caches
+    # rate_on(platform, k, base_speed); ``_slack_memo`` caches the
+    # current-allocation slack used by the running-slot ordering.
+    _rate_memo: Optional[tuple] = field(default=None, compare=False, repr=False)
+    _slack_memo: Optional[tuple] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.arrival_time < 0:
@@ -113,9 +120,15 @@ class Job:
 
     def rate_on(self, platform_name: str, k: int, base_speed: float = 1.0) -> float:
         """Progress units gained per tick with ``k`` units of ``platform_name``."""
+        memo = self._rate_memo
+        if memo is not None and memo[0] == platform_name and memo[1] == k \
+                and memo[2] == base_speed:
+            return memo[3]
         if platform_name not in self.affinity:
             raise ValueError(f"job {self.job_id} cannot run on {platform_name!r}")
-        return self.affinity[platform_name] * base_speed * self.speedup_model.speedup(k)
+        rate = self.affinity[platform_name] * base_speed * cached_speedup(self.speedup_model, k)
+        self._rate_memo = (platform_name, k, base_speed, rate)
+        return rate
 
     def best_case_duration(self, platform_name: str, base_speed: float = 1.0) -> float:
         """Ticks to finish remaining work at maximum parallelism on a platform."""

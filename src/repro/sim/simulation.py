@@ -136,12 +136,24 @@ class Simulation:
                     self.log.record(Event(self.now, EventKind.DROP, job.job_id))
 
     # --- convenience ------------------------------------------------------------
-    def run_policy(self, policy, max_ticks: Optional[int] = None) -> MetricsReport:
+    def run_policy(self, policy, max_ticks: Optional[int] = None,
+                   engine: str = "tick") -> MetricsReport:
         """Drive the simulation to completion under ``policy``.
 
         ``policy`` must implement ``schedule(sim)`` — called once per tick
         before time advances (see :mod:`repro.baselines`).
+
+        ``engine`` selects the driver: ``"tick"`` is the dense per-tick
+        loop below; ``"event"`` delegates to the event-driven
+        :class:`~repro.sim.kernel.EventKernel`, which produces bit-exact
+        identical results while fast-forwarding across idle ticks.
         """
+        if engine not in ("tick", "event"):
+            raise ValueError(f"engine must be 'tick' or 'event', got {engine!r}")
+        if engine == "event":
+            from repro.sim.kernel import EventKernel
+
+            return EventKernel(self, policy).run(max_ticks)
         ticks = 0
         limit = max_ticks if max_ticks is not None else self.config.horizon
         while not self.is_done():

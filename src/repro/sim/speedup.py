@@ -15,8 +15,10 @@ less scalable.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
-__all__ = ["SpeedupModel", "LinearSpeedup", "AmdahlSpeedup", "PowerLawSpeedup"]
+__all__ = ["SpeedupModel", "LinearSpeedup", "AmdahlSpeedup", "PowerLawSpeedup",
+           "cached_speedup"]
 
 
 class SpeedupModel:
@@ -87,3 +89,16 @@ class PowerLawSpeedup(SpeedupModel):
     def speedup(self, k: int) -> float:
         self._check(k)
         return float(k) ** self.alpha
+
+
+@lru_cache(maxsize=65536)
+def cached_speedup(model: SpeedupModel, k: int) -> float:
+    """Memoized ``model.speedup(k)``.
+
+    Every model is a frozen (hashable) dataclass and ``speedup`` is pure,
+    so the value is cacheable; the curves are evaluated millions of times
+    per experiment (state encoding, slack ordering, progress accrual) and
+    the cache turns each evaluation into a dict hit. Invalid ``k`` raises
+    exactly as the uncached call would (exceptions are never cached).
+    """
+    return model.speedup(k)

@@ -1,0 +1,276 @@
+"""Equivalence suite: the event-driven kernel vs the dense tick loop.
+
+The contract (see :mod:`repro.sim.kernel`) is *bit-for-bit* equality of
+every observable: the MetricsReport, the full event log (one TICK event
+per simulated tick included), the utilization series, job progress, and
+fault/energy accounting — across heuristic rosters, drop-on-miss,
+fault injection, energy metering, DAG workloads, and randomized traces.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    AdmissionControlScheduler,
+    BackfillScheduler,
+    EDFScheduler,
+    FIFOScheduler,
+    GreedyElasticScheduler,
+    LLFScheduler,
+    MigratingElasticScheduler,
+    RandomScheduler,
+    SJFScheduler,
+    TetrisScheduler,
+)
+from repro.core.training import clone_job
+from repro.harness import standard_scenario
+from repro.sim import (
+    EnergyMeter,
+    EventKernel,
+    FaultInjector,
+    FaultModel,
+    Platform,
+    PowerModel,
+    Simulation,
+    SimulationConfig,
+)
+from repro.sim.job import Job
+
+POLICIES = {
+    "fifo": lambda: FIFOScheduler(),
+    "sjf": lambda: SJFScheduler(),
+    "edf": lambda: EDFScheduler(),
+    "llf": lambda: LLFScheduler(),
+    "tetris": lambda: TetrisScheduler(),
+    "random": lambda: RandomScheduler(seed=11),
+    "greedy-elastic": lambda: GreedyElasticScheduler(),
+    "migrating-elastic": lambda: MigratingElasticScheduler(),
+    "easy-backfill": lambda: BackfillScheduler(),
+    "ac-edf": lambda: AdmissionControlScheduler(EDFScheduler()),
+}
+
+SCENARIO = standard_scenario(load=0.7, horizon=60)
+
+
+def normalized_log(sim, id_map):
+    """Event log with job ids replaced by trace position (clone-stable)."""
+    return [
+        (e.time, e.kind, None if e.job_id is None else id_map.get(e.job_id, e.job_id),
+         e.platform, e.parallelism, e.detail)
+        for e in sim.log.events
+    ]
+
+
+def run_engine(engine, policy_factory, trace, drop_on_miss=False, horizon=2000,
+               fault_models=None, fault_seed=7, power_models=None):
+    jobs = [clone_job(j) for j in trace]
+    id_map = {j.job_id: i for i, j in enumerate(jobs)}
+    injector = None
+    if fault_models is not None:
+        injector = FaultInjector(fault_models, rng=np.random.default_rng(fault_seed))
+    meter = EnergyMeter(power_models) if power_models is not None else None
+    sim = Simulation(
+        SCENARIO.platforms, jobs,
+        SimulationConfig(drop_on_miss=drop_on_miss, horizon=horizon),
+        fault_injector=injector, energy_meter=meter,
+    )
+    report = sim.run_policy(policy_factory(), engine=engine)
+    return sim, report, normalized_log(sim, id_map)
+
+
+def assert_equivalent(policy_factory, trace, **kwargs):
+    s_tick, r_tick, log_tick = run_engine("tick", policy_factory, trace, **kwargs)
+    s_event, r_event, log_event = run_engine("event", policy_factory, trace, **kwargs)
+    assert s_tick.now == s_event.now
+    assert log_tick == log_event
+    assert s_tick.utilization_series == s_event.utilization_series
+    assert r_tick.as_dict() == r_event.as_dict()
+    # Job progress itself must match bit-for-bit (repeated-addition rule).
+    for a, b in zip(s_tick._all_jobs, s_event._all_jobs):
+        assert a.progress == b.progress
+        assert a.finish_time == b.finish_time
+        assert a.state == b.state
+    return s_tick, s_event
+
+
+class TestRosterEquivalence:
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_randomized_trace(self, name, seed):
+        assert_equivalent(POLICIES[name], SCENARIO.trace(seed))
+
+    @pytest.mark.parametrize("name", ["edf", "tetris", "greedy-elastic"])
+    def test_drop_on_miss(self, name):
+        assert_equivalent(POLICIES[name], SCENARIO.trace(3), drop_on_miss=True)
+
+    @pytest.mark.parametrize("load", [0.3, 1.2])
+    def test_load_extremes(self, load):
+        trace = standard_scenario(load=load, horizon=60).trace(4)
+        assert_equivalent(POLICIES["edf"], trace)
+
+
+class TestFaultAndEnergyEquivalence:
+    FAULTS = {"cpu": FaultModel(mtbf=60.0, mttr=6.0),
+              "gpu": FaultModel(mtbf=90.0, mttr=8.0)}
+    POWER = {"cpu": PowerModel(0.2, 1.0), "gpu": PowerModel(0.5, 3.0)}
+
+    @pytest.mark.parametrize("name", ["edf", "greedy-elastic"])
+    def test_fault_injection(self, name):
+        # The fault process draws RNG per tick, so the kernel must refuse
+        # to skip — and the two engines must agree event-for-event.
+        s1, s2 = assert_equivalent(POLICIES[name], SCENARIO.trace(5),
+                                   fault_models=self.FAULTS)
+        assert s1.fault_injector.stats.failures == s2.fault_injector.stats.failures
+        assert s1.fault_injector.stats.repairs == s2.fault_injector.stats.repairs
+        assert (s1.fault_injector.stats.downtime_unit_ticks
+                == s2.fault_injector.stats.downtime_unit_ticks)
+
+    def test_energy_metering(self):
+        s1, s2 = assert_equivalent(POLICIES["edf"], SCENARIO.trace(6),
+                                   power_models=self.POWER)
+        assert s1.energy_meter.total_energy == s2.energy_meter.total_energy
+        assert s1.energy_meter.power_series == s2.energy_meter.power_series
+        assert s1.energy_meter.per_platform == s2.energy_meter.per_platform
+
+    def test_energy_metering_sparse(self):
+        # Energy during fast-forwarded spans must accumulate in the same
+        # float order as per-tick stepping.
+        trace = sparse_trace(gap=70, n=20)
+        s1, s2 = assert_equivalent(POLICIES["edf"], trace, horizon=3000,
+                                   power_models=self.POWER)
+        assert s1.energy_meter.total_energy == s2.energy_meter.total_energy
+        assert s1.energy_meter.power_series == s2.energy_meter.power_series
+
+    def test_quiescent_injector_allows_fast_forward(self):
+        # mtbf=inf draws no randomness; the kernel may skip and must
+        # still match (downtime counters stay zero on both engines).
+        models = {"cpu": FaultModel(mtbf=float("inf"), mttr=5.0)}
+        trace = sparse_trace(gap=70, n=10)
+        assert_equivalent(POLICIES["edf"], trace, horizon=1500,
+                          fault_models=models)
+
+
+def sparse_trace(gap=70, n=20):
+    jobs, t = [], 0
+    for _ in range(n):
+        t += gap
+        jobs.append(Job(arrival_time=t, work=20.0, deadline=t + 40.0,
+                        min_parallelism=1, max_parallelism=4,
+                        affinity={"cpu": 1.0, "gpu": 2.0}))
+    return jobs
+
+
+class TestSparseFastForward:
+    def test_fast_forward_engages_and_matches(self):
+        trace = sparse_trace()
+        s1, s2 = assert_equivalent(POLICIES["edf"], trace, horizon=3000)
+        assert s1.now == s2.now > 1000
+
+    def test_kernel_stats_account_for_all_ticks(self):
+        jobs = [clone_job(j) for j in sparse_trace()]
+        sim = Simulation(SCENARIO.platforms, jobs, SimulationConfig(horizon=3000))
+        kernel = EventKernel(sim, EDFScheduler())
+        kernel.run()
+        assert kernel.stats.fast_forwarded > 0
+        assert kernel.stats.total_ticks == sim.now
+        assert len(sim.utilization_series) == sim.now
+        tick_events = [e for e in sim.log.events if e.kind.value == "tick"]
+        assert len(tick_events) == sim.now
+        assert [e.time for e in tick_events] == list(range(1, sim.now + 1))
+
+    def test_nonquiescent_policy_never_skips(self):
+        class EveryTick(EDFScheduler):
+            quiescence = "none"
+
+        jobs = [clone_job(j) for j in sparse_trace(n=5)]
+        sim = Simulation(SCENARIO.platforms, jobs, SimulationConfig(horizon=600))
+        kernel = EventKernel(sim, EveryTick())
+        kernel.run()
+        assert kernel.stats.fast_forwarded == 0
+
+    def test_max_ticks_budget_respected(self):
+        for engine in ("tick", "event"):
+            jobs = [clone_job(j) for j in sparse_trace()]
+            sim = Simulation(SCENARIO.platforms, jobs, SimulationConfig(horizon=3000))
+            sim.run_policy(EDFScheduler(), max_ticks=137, engine=engine)
+            assert sim.now == 137
+
+    def test_policy_requested_wakeup(self):
+        woken = []
+
+        class Waker(EDFScheduler):
+            def next_wakeup(self, sim):
+                return sim.now + 10
+
+            def schedule(self, sim):
+                woken.append(sim.now)
+                super().schedule(sim)
+
+        jobs = [clone_job(j) for j in sparse_trace(gap=100, n=3)]
+        sim = Simulation(SCENARIO.platforms, jobs, SimulationConfig(horizon=400))
+        EventKernel(sim, Waker()).run()
+        # Fast-forward spans may never jump past a requested wakeup tick.
+        gaps = np.diff(sorted(set(woken)))
+        assert gaps.max() <= 10
+
+    def test_invalid_engine_rejected(self):
+        jobs = [clone_job(j) for j in sparse_trace(n=2)]
+        sim = Simulation(SCENARIO.platforms, jobs, SimulationConfig(horizon=100))
+        with pytest.raises(ValueError, match="engine"):
+            sim.run_policy(EDFScheduler(), engine="warp")
+
+
+class TestDAGEquivalence:
+    @pytest.mark.parametrize("name", ["edf", "greedy-elastic"])
+    def test_dag_simulation(self, name):
+        from repro.dag import DAGWorkloadConfig
+        from repro.dag.simulation import DAGSimulation
+        from repro.dag.workload import generate_dag_graph
+
+        platforms = [Platform("cpu", 16, 1.0), Platform("gpu", 6, 1.0)]
+        cfg = DAGWorkloadConfig()
+
+        def run(engine):
+            rng = np.random.default_rng(0)
+            graphs = [generate_dag_graph(cfg, platforms, rng, i) for i in range(4)]
+            sim = DAGSimulation(platforms, graphs, SimulationConfig(horizon=1500))
+            report = sim.run_policy(POLICIES[name](), engine=engine)
+            return sim, report
+
+        s1, r1 = run("tick")
+        s2, r2 = run("event")
+        assert s1.now == s2.now
+        assert s1.utilization_series == s2.utilization_series
+        assert r1.as_dict() == r2.as_dict()
+        assert s1.graph_miss_rate() == s2.graph_miss_rate()
+        assert s1.graphs_completed() == s2.graphs_completed()
+        assert [(e.time, e.kind) for e in s1.log.events] == \
+               [(e.time, e.kind) for e in s2.log.events]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    load=st.floats(0.2, 1.5),
+    drop=st.booleans(),
+    policy=st.sampled_from(["edf", "fifo", "greedy-elastic", "random"]),
+)
+def test_property_engines_agree(seed, load, drop, policy):
+    """Hypothesis: on any generated trace the two engines are identical."""
+    scenario = standard_scenario(load=load, horizon=40)
+    trace = scenario.trace(seed)
+    jobs_a = [clone_job(j) for j in trace]
+    jobs_b = [clone_job(j) for j in trace]
+    map_a = {j.job_id: i for i, j in enumerate(jobs_a)}
+    map_b = {j.job_id: i for i, j in enumerate(jobs_b)}
+    sim_a = Simulation(scenario.platforms, jobs_a,
+                       SimulationConfig(drop_on_miss=drop, horizon=600))
+    sim_b = Simulation(scenario.platforms, jobs_b,
+                       SimulationConfig(drop_on_miss=drop, horizon=600))
+    r_a = sim_a.run_policy(POLICIES[policy](), engine="tick")
+    r_b = sim_b.run_policy(POLICIES[policy](), engine="event")
+    assert normalized_log(sim_a, map_a) == normalized_log(sim_b, map_b)
+    assert sim_a.utilization_series == sim_b.utilization_series
+    assert r_a.as_dict() == r_b.as_dict()
