@@ -260,14 +260,94 @@ def test_vec_rollout_beats_serial(benchmark):
     benchmark(run)
 
 
-def main() -> int:
-    """Record the kernel and rollout comparisons to BENCH_kernel.json."""
+def _bench_parallel_sweep(workers: int = 4, n_traces: int = 3) -> dict:
+    """Serial vs sharded vs warm-cache wall clock of one evaluation sweep.
+
+    The sweep is sized so each (scenario, scheduler, trace) cell costs
+    ~0.5-1 s of simulation — enough that process startup amortizes. Three
+    timings are recorded: the serial path, the ``workers``-sharded path
+    (real parallelism requires real cores; ``cpu_count`` is recorded so
+    the ratio is interpretable), and a warm-cache re-run, which replays
+    every cell from disk regardless of core count.
+    """
+    import os
+    import tempfile
+
+    from repro.harness.cache import ResultCache
+    from repro.harness.parallel import BaselineFactory
+    from repro.harness.sweeps import sweep_schedulers
+
+    scenarios = {
+        f"load-{load:g}": standard_scenario(
+            load=load, horizon=500, cpu_capacity=48, gpu_capacity=16,
+            max_ticks=2000)
+        for load in (0.8, 1.1)
+    }
+    schedulers = {
+        name: BaselineFactory(name)
+        for name in ("fifo", "edf", "tetris", "greedy-elastic")
+    }
+    common = dict(n_traces=n_traces, base_seed=1000)
+
+    t0 = time.perf_counter()
+    rows_serial = sweep_schedulers(scenarios, schedulers, **common)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    rows_parallel = sweep_schedulers(scenarios, schedulers, workers=workers,
+                                     **common)
+    t_parallel = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        sweep_schedulers(scenarios, schedulers, cache=cache, **common)
+        t0 = time.perf_counter()
+        rows_cached = sweep_schedulers(scenarios, schedulers, cache=cache,
+                                       **common)
+        t_warm = time.perf_counter() - t0
+        cold_misses = cache.stats["misses"]
+        warm_hits = cache.stats["hits"]
+
+    identical = (
+        json.dumps(rows_serial, sort_keys=True)
+        == json.dumps(rows_parallel, sort_keys=True)
+        == json.dumps(rows_cached, sort_keys=True)
+    )
+    n_cells = len(scenarios) * len(schedulers) * n_traces
+    return {
+        "sweep": {"scenarios": sorted(scenarios), "schedulers": sorted(schedulers),
+                  "n_traces": n_traces, "cells": n_cells},
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "serial_s": round(t_serial, 2),
+        "parallel_s": round(t_parallel, 2),
+        "parallel_speedup": round(t_serial / t_parallel, 2),
+        "warm_cache_s": round(t_warm, 2),
+        "warm_cache_speedup": round(t_serial / t_warm, 2),
+        "cache_cold_misses": cold_misses,
+        "cache_warm_hits": warm_hits,
+        "rows_byte_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    """Record the kernel/rollout comparisons to BENCH_kernel.json and the
+    parallel-sweep comparison to BENCH_parallel.json (``--skip-parallel``
+    to leave the latter untouched)."""
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--skip-parallel", action="store_true",
+                        help="only run the kernel/rollout benchmarks")
+    args = parser.parse_args(argv)
+
+    root = Path(__file__).resolve().parent.parent
     results = {
         "kernel_sparse_trace": _bench_kernel(),
         "rollout_ppo_bench_policy": _bench_rollout((128, 128)),
         "rollout_ppo_large_policy": _bench_rollout((256, 256)),
     }
-    out = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+    out = root / "BENCH_kernel.json"
     out.write_text(json.dumps(results, indent=2) + "\n")
     print(json.dumps(results, indent=2))
     kernel_ok = results["kernel_sparse_trace"]["speedup"] >= 3.0
@@ -277,6 +357,22 @@ def main() -> int:
     print(f"\nkernel speedup >= 3x: {'PASS' if kernel_ok else 'FAIL'}; "
           f"vec(8) speedup >= 2x (large policy): {'PASS' if vec_ok else 'FAIL'}")
     print(f"results -> {out}")
+
+    if not args.skip_parallel:
+        parallel = {"parallel_sweep": _bench_parallel_sweep()}
+        out_par = root / "BENCH_parallel.json"
+        out_par.write_text(json.dumps(parallel, indent=2) + "\n")
+        print(json.dumps(parallel, indent=2))
+        sweep = parallel["parallel_sweep"]
+        par_ok = sweep["parallel_speedup"] >= 2.5
+        warm_ok = sweep["warm_cache_speedup"] >= 2.5
+        print(f"\nparallel(4) sweep speedup >= 2.5x: "
+              f"{'PASS' if par_ok else 'FAIL'} "
+              f"({sweep['parallel_speedup']}x on {sweep['cpu_count']} cores); "
+              f"warm-cache replay >= 2.5x: {'PASS' if warm_ok else 'FAIL'} "
+              f"({sweep['warm_cache_speedup']}x); "
+              f"rows byte-identical: {sweep['rows_byte_identical']}")
+        print(f"results -> {out_par}")
     return 0
 
 

@@ -46,6 +46,12 @@ class AdmissionControlScheduler:
         # kernel-quiescent as its inner scheduler (see repro.sim.kernel).
         self.quiescence = getattr(inner, "quiescence", "none")
 
+    def cache_spec(self) -> dict:
+        """Fingerprint parameterization: threshold + inner scheduler,
+        excluding the mutable shed-job log."""
+        return {"class": type(self).__qualname__, "inner": self.inner,
+                "slack_threshold": self.slack_threshold}
+
     def schedule(self, sim: "Simulation") -> None:
         """Shed infeasible work, then run the inner scheduler."""
         for job in list(sim.pending):

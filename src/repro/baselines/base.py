@@ -50,7 +50,20 @@ class HeuristicScheduler:
             raise ValueError("parallelism must be 'min', 'max', or 'fit'")
         self.platform_choice = platform_choice
         self.parallelism = parallelism
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
+
+    def cache_spec(self) -> dict:
+        """Canonical parameterization for result-cache fingerprinting.
+
+        Everything that determines scheduling decisions (class, declared
+        options, the *initial* seed) and nothing that mutates while the
+        scheduler runs: the live RNG stream position is excluded, so a
+        used instance fingerprints the same as a fresh one.
+        """
+        spec = {k: v for k, v in vars(self).items() if k != "rng"}
+        spec["class"] = type(self).__qualname__
+        return spec
 
     # --- protocol -----------------------------------------------------------
     def schedule(self, sim: "Simulation") -> None:

@@ -4,9 +4,16 @@ Usage::
 
     python -m repro.cli list
     python -m repro.cli run e02_main_table --out results.json
-    python -m repro.cli run e03_load_sweep --csv e03.csv
+    python -m repro.cli run e03_load_sweep --csv e03.csv --workers 4
+    python -m repro.cli sweep --loads 0.5 0.8 --workers 4
+    python -m repro.cli sweep --loads 0.5 0.8 --no-cache
     python -m repro.cli train --load 0.7 --iterations 60 --out policy.npz
     python -m repro.cli evaluate --policy policy.npz --load 0.7 --traces 4
+
+``sweep`` shards its (scenario x scheduler x trace) evaluation cells
+over a spawn-safe process pool and memoizes each cell in a persistent
+on-disk cache (``.repro-cache/`` by default), so repeated sweeps only
+pay for cells whose inputs changed.
 
 ``run`` accepts any registered experiment name (the ``eXX_*`` functions
 of :mod:`repro.harness.experiments`); sizes default to the bench-scale
@@ -53,9 +60,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     fn = registry[args.experiment]
+    params = inspect.signature(fn).parameters
     kwargs = {}
-    if args.seed is not None and "seed" in inspect.signature(fn).parameters:
+    if args.seed is not None and "seed" in params:
         kwargs["seed"] = args.seed
+    if args.workers > 1:
+        if "workers" not in params:
+            print(f"note: {args.experiment} does not shard; "
+                  "--workers ignored", file=sys.stderr)
+        else:
+            kwargs["workers"] = args.workers
     out = fn(**kwargs)
     print(out.text)
     print(f"\n[{out.name}] elapsed: {out.elapsed_s:.1f}s")
@@ -72,6 +86,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.csv, "w") as fh:
             fh.write(rows_to_csv(out.rows))
         print(f"csv saved to {args.csv}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
+    from repro.harness.experiments import quick_scenario
+    from repro.harness.parallel import BaselineFactory
+    from repro.harness.sweeps import sweep_schedulers
+    from repro.harness.tables import format_table
+
+    scenarios = {
+        f"load-{load:g}": quick_scenario(load=load).with_engine(args.engine)
+        for load in args.loads
+    }
+    schedulers = {
+        name.strip(): BaselineFactory(name.strip())
+        for name in args.schedulers.split(",") if name.strip()
+    }
+    if not schedulers:
+        print("no schedulers given", file=sys.stderr)
+        return 2
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    rows = sweep_schedulers(
+        scenarios, schedulers, n_traces=args.traces,
+        base_seed=args.base_seed, max_ticks=args.max_ticks,
+        workers=args.workers, cache=cache,
+    )
+    print(format_table(rows, title=f"sweep ({args.workers} workers)"))
+    if cache is not None:
+        print(f"cache: {cache.stats['hits']} hits, "
+              f"{cache.stats['misses']} misses -> {cache.root}")
+    if args.out:
+        from repro.harness.results import ResultStore
+
+        store = ResultStore()
+        store.add_rows("sweep", rows)
+        store.save(args.out)
+        print(f"rows saved to {args.out}")
     return 0
 
 
@@ -117,7 +171,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     for name, sched in schedulers.items():
         reports = evaluate_scheduler(sched, scenario.platforms, traces,
                                      max_ticks=scenario.max_ticks,
-                                     engine=scenario.engine)
+                                     engine=scenario.engine,
+                                     workers=args.workers)
         rows.append({
             "scheduler": name,
             "miss_rate": float(np.mean([r.miss_rate for r in reports])),
@@ -146,7 +201,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", help="save rows as JSON (ResultStore format)")
     run.add_argument("--csv", help="save rows as CSV")
     run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--workers", type=int, default=1,
+                     help="process-pool shards for evaluation traces")
     run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="sharded scheduler-comparison sweep with result cache")
+    sweep.add_argument("--loads", type=float, nargs="+", default=[0.5, 0.8],
+                       help="offered loads, one scenario each")
+    sweep.add_argument("--schedulers", default="fifo,edf,tetris,greedy-elastic",
+                       help="comma-separated baseline names")
+    sweep.add_argument("--traces", type=int, default=3,
+                       help="paired trace seeds per scenario")
+    sweep.add_argument("--base-seed", type=int, default=1000)
+    sweep.add_argument("--max-ticks", type=int, default=None)
+    sweep.add_argument("--engine", default="tick", choices=["tick", "event"])
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="process-pool shards for evaluation cells")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="recompute every cell (skip the result cache)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="result-cache directory (default .repro-cache)")
+    sweep.add_argument("--out", help="save rows as JSON (ResultStore format)")
+    sweep.set_defaults(func=_cmd_sweep)
 
     train = sub.add_parser("train", help="train a DRL policy and save it")
     train.add_argument("--load", type=float, default=0.7)
@@ -168,6 +245,8 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--traces", type=int, default=3)
     ev.add_argument("--engine", default="tick", choices=["tick", "event"],
                     help="simulation driver (event = idle fast-forward)")
+    ev.add_argument("--workers", type=int, default=1,
+                    help="process-pool shards for evaluation traces")
     ev.set_defaults(func=_cmd_evaluate)
     return parser
 

@@ -48,6 +48,24 @@ class DRLScheduler:
         # Stochastic decoding consumes RNG every call and never is.
         self.quiescence = "idle" if greedy else "none"
 
+    def cache_spec(self) -> dict:
+        """Canonical parameterization for result-cache fingerprinting.
+
+        The full decision function — network weights, MDP config,
+        platform order, decoding mode — but not the encoder's memo
+        caches or the live RNG position, which mutate during evaluation
+        and would otherwise give logically identical evaluations
+        different cache keys.
+        """
+        return {
+            "class": type(self).__qualname__,
+            "config": self.config,
+            "platforms": self.encoder.platform_names,
+            "work_scale": self.encoder.work_scale,
+            "greedy": self.greedy,
+            "params": self.policy.net.params(),
+        }
+
     def schedule(self, sim: "Simulation") -> None:
         """Decode actions for the current tick until no-op or budget."""
         for _ in range(self.config.actions_per_tick):

@@ -11,6 +11,13 @@ from repro.harness.results import ResultStore, aggregate_rows
 from repro.harness.tables import format_table, rows_to_csv
 from repro.harness.plots import ascii_line_plot
 from repro.harness.sweeps import sweep_schedulers
+from repro.harness.cache import ResultCache, fingerprint
+from repro.harness.parallel import (
+    BaselineFactory,
+    CellFailure,
+    EvalCell,
+    run_cells,
+)
 from repro.harness.stats import (
     MeanCI,
     bootstrap_ci,
@@ -25,6 +32,8 @@ __all__ = [
     "format_table", "rows_to_csv",
     "ascii_line_plot",
     "sweep_schedulers",
+    "ResultCache", "fingerprint",
+    "BaselineFactory", "CellFailure", "EvalCell", "run_cells",
     "MeanCI", "bootstrap_ci", "paired_permutation_test", "summarize",
     "experiments",
 ]

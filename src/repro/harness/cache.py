@@ -1,0 +1,209 @@
+"""Persistent on-disk cache of evaluation-cell results.
+
+Every evaluation cell — one (scenario, scheduler, trace-seed) simulation
+— is deterministic given its inputs, so its
+:class:`~repro.sim.metrics.MetricsReport` can be cached across processes
+and sessions. The cache key is a structural fingerprint of everything the
+result depends on: the scenario specification (platforms, workload
+classes, load, MDP config, engine), the scheduler's name and full
+parameterization (for a DRL policy that includes the network weights),
+the trace seed, and the tick budget. Any change to any of those inputs
+changes the key, so stale entries are never returned — invalidation is
+by construction, not by bookkeeping.
+
+Entries are JSON files under a two-level directory fan-out
+(``<root>/<key[:2]>/<key>.json``), written atomically (temp file +
+``os.replace``) so concurrent writers — the sharded parallel runner of
+:mod:`repro.harness.parallel` — can share one cache directory safely:
+the worst case under a race is recomputing a cell, never corrupting one.
+JSON round-trips Python floats exactly (``repr``-based), so a cache hit
+reproduces the uncached result byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.sim.metrics import MetricsReport
+
+__all__ = ["fingerprint", "ResultCache", "DEFAULT_CACHE_DIR"]
+
+#: Default cache location for the CLI (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Bump to invalidate every existing cache entry when the simulation or
+#: metrics semantics change incompatibly.
+_SCHEMA_VERSION = "1"
+
+
+def _feed(h, obj: Any, seen: set) -> None:
+    """Feed a canonical byte encoding of ``obj`` into hash ``h``.
+
+    Handles the types that appear in scenario / scheduler specifications:
+    scalars, containers (dict items sorted for order independence),
+    dataclasses (declared fields only), NumPy arrays and generators
+    (weights and seeded RNG state), callables (by qualified name), and —
+    as the general fallback — arbitrary objects via their ``__dict__``.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        h.update(f"{type(obj).__name__}:{obj!r};".encode())
+        return
+    if isinstance(obj, float):
+        h.update(f"float:{obj!r};".encode())
+        return
+    if isinstance(obj, bytes):
+        h.update(b"bytes:")
+        h.update(obj)
+        return
+    if isinstance(obj, np.ndarray):
+        h.update(f"ndarray:{obj.dtype!s}:{obj.shape!r}:".encode())
+        h.update(np.ascontiguousarray(obj).tobytes())
+        return
+    if isinstance(obj, (np.integer, np.floating, np.bool_)):
+        _feed(h, obj.item(), seen)
+        return
+    # Containers and objects can recurse; guard against cycles.
+    oid = id(obj)
+    if oid in seen:
+        h.update(b"cycle;")
+        return
+    seen = seen | {oid}
+    if isinstance(obj, dict):
+        h.update(f"dict:{len(obj)}:".encode())
+        for key in sorted(obj, key=repr):
+            _feed(h, key, seen)
+            _feed(h, obj[key], seen)
+        return
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = sorted(obj, key=repr) if isinstance(obj, (set, frozenset)) else obj
+        h.update(f"{type(obj).__name__}:{len(items)}:".encode())
+        for item in items:
+            _feed(h, item, seen)
+        return
+    if isinstance(obj, np.random.Generator):
+        _feed(h, obj.bit_generator.state, seen)
+        return
+    spec_fn = getattr(obj, "cache_spec", None)
+    if callable(spec_fn) and not isinstance(obj, type):
+        # The object declares its own canonical parameterization — the
+        # inputs that determine its behavior, excluding mutable runtime
+        # state (live RNG positions, memo caches) that would make
+        # logically identical evaluations fingerprint differently.
+        h.update(f"spec:{type(obj).__module__}.{type(obj).__qualname__}:".encode())
+        _feed(h, spec_fn(), seen)
+        return
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        h.update(f"dc:{type(obj).__module__}.{type(obj).__qualname__}:".encode())
+        for f in dataclasses.fields(obj):
+            h.update(f.name.encode())
+            _feed(h, getattr(obj, f.name), seen)
+        return
+    if isinstance(obj, type) or callable(obj) and hasattr(obj, "__qualname__"):
+        mod = getattr(obj, "__module__", "?")
+        h.update(f"callable:{mod}.{obj.__qualname__};".encode())
+        if getattr(obj, "__dict__", None):  # parameterized callable object
+            _feed(h, vars(obj), seen)
+        return
+    state = getattr(obj, "__dict__", None)
+    if state is not None:
+        h.update(f"obj:{type(obj).__module__}.{type(obj).__qualname__}:".encode())
+        _feed(h, state, seen)
+        return
+    # Last resort: repr. Stable for the value types that reach here.
+    h.update(f"repr:{obj!r};".encode())
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``parts``.
+
+    Structural and deterministic across processes and sessions (no
+    ``id()``/``hash()`` randomization in the encoding), so the digest is
+    a valid persistent cache key.
+    """
+    h = hashlib.sha256()
+    h.update(f"v{_SCHEMA_VERSION};".encode())
+    for part in parts:
+        _feed(h, part, set())
+    return h.hexdigest()
+
+
+def _json_coerce(obj):
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+class ResultCache:
+    """Directory-backed map from fingerprint keys to metrics reports.
+
+    ``get``/``put`` are crash- and concurrency-safe: reads treat missing
+    or corrupt entries as misses, writes are atomic renames. Hit/miss
+    counters are kept per instance (``stats``) so callers can verify
+    warm-cache behavior.
+    """
+
+    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[MetricsReport]:
+        """The cached report for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            report = MetricsReport(**payload["report"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return report
+
+    def put(self, key: str, report: MetricsReport) -> None:
+        """Persist ``report`` under ``key`` (atomic, last-writer-wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"report": dataclasses.asdict(report)}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, default=_json_coerce)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*/*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

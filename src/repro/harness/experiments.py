@@ -225,6 +225,7 @@ def e02_main_table(
     load: float = 0.7,
     seed: int = 0,
     include_drl: bool = True,
+    workers: int = 1,
 ) -> ExperimentOutput:
     """Deadline miss rate / slowdown: DRL vs the full heuristic roster."""
     t0 = time.time()
@@ -236,7 +237,8 @@ def e02_main_table(
         schedulers["drl"] = train_drl(scenario, iterations=train_iterations, seed=seed)
     for name, sched in schedulers.items():
         reports = evaluate_scheduler(sched, scenario.platforms, traces,
-                                     max_ticks=scenario.max_ticks)
+                                     max_ticks=scenario.max_ticks,
+                                     workers=workers)
         rows.append({"scheduler": name, **_mean_metrics(reports)})
     rows.sort(key=lambda r: r["miss_rate"])
     text = format_table(rows, title=f"E2: main comparison (load={load})")
@@ -251,6 +253,7 @@ def e03_load_sweep(
     n_traces: int = 3,
     schedulers: Optional[Dict[str, object]] = None,
     drl: Optional[DRLScheduler] = None,
+    workers: int = 1,
 ) -> ExperimentOutput:
     """Sweep offered load; every scheduler rises, ranking should persist."""
     t0 = time.time()
@@ -270,7 +273,8 @@ def e03_load_sweep(
         traces = scenario.traces(n_traces)
         for name, sched in schedulers.items():
             reports = evaluate_scheduler(sched, scenario.platforms, traces,
-                                         max_ticks=scenario.max_ticks)
+                                         max_ticks=scenario.max_ticks,
+                                         workers=workers)
             metrics = _mean_metrics(reports)
             rows.append({"load": load, "scheduler": name, **metrics})
             series[name].append(metrics["miss_rate"])
@@ -288,6 +292,7 @@ def e04_tightness_sweep(
     load: float = 0.8,
     n_traces: int = 3,
     drl: Optional[DRLScheduler] = None,
+    workers: int = 1,
 ) -> ExperimentOutput:
     """Sweep the deadline tightness multiplier (smaller = tighter)."""
     t0 = time.time()
@@ -305,7 +310,8 @@ def e04_tightness_sweep(
         traces = scenario.traces(n_traces)
         for name, sched in schedulers.items():
             reports = evaluate_scheduler(sched, scenario.platforms, traces,
-                                         max_ticks=scenario.max_ticks)
+                                         max_ticks=scenario.max_ticks,
+                                         workers=workers)
             metrics = _mean_metrics(reports)
             rows.append({"tightness": scale, "scheduler": name, **metrics})
             series[name].append(metrics["miss_rate"])
@@ -365,6 +371,7 @@ def e06_heterogeneity(
     load: float = 0.7,
     n_traces: int = 4,
     drl: Optional[DRLScheduler] = None,
+    workers: int = 1,
 ) -> ExperimentOutput:
     """Affinity-aware vs heterogeneity-blind placement."""
     t0 = time.time()
@@ -382,7 +389,8 @@ def e06_heterogeneity(
     rows: List[Row] = []
     for name, sched in schedulers.items():
         reports = evaluate_scheduler(sched, scenario.platforms, traces,
-                                     max_ticks=scenario.max_ticks)
+                                     max_ticks=scenario.max_ticks,
+                                     workers=workers)
         rows.append({"scheduler": name, **_mean_metrics(reports)})
     text = format_table(rows, title="E6: heterogeneity awareness")
     return ExperimentOutput("e06_heterogeneity", rows, {}, text, time.time() - t0)
@@ -847,6 +855,7 @@ def e16_extended_baselines(
     loads: Sequence[float] = (0.7, 1.1),
     n_traces: int = 3,
     drop_on_miss: bool = False,
+    workers: int = 1,
 ) -> ExperimentOutput:
     """Backfilling, admission control, and migration vs the core roster.
 
@@ -881,7 +890,8 @@ def e16_extended_baselines(
         for name, sched in schedulers.items():
             reports = evaluate_scheduler(sched, scenario.platforms, traces,
                                          drop_on_miss=drop_on_miss,
-                                         max_ticks=scenario.max_ticks)
+                                         max_ticks=scenario.max_ticks,
+                                         workers=workers)
             rows.append({
                 "load": load,
                 "scheduler": name,

@@ -1,0 +1,223 @@
+"""Sharded parallel evaluation: (scenario, scheduler, trace-seed) cells.
+
+The evaluation grid every sweep and experiment walks factorizes into
+independent *cells*: one scheduler evaluated on one reproducible trace of
+one scenario. Each cell is deterministic given its
+:class:`EvalCell` spec — the trace is regenerated from its seed inside
+the worker, the scheduler is instantiated fresh from its factory — so
+cells can be executed in any order, on any process, and merged back
+deterministically: results are returned in cell order, which makes the
+``workers=N`` path byte-identical to the serial one.
+
+The process pool uses the ``spawn`` start method explicitly: it is the
+only start method that is safe everywhere (no forked locks, no
+inherited RNG state) and it forces the cell specs to be genuinely
+picklable, which is exactly the property that also makes them cacheable.
+Factories must therefore be module-level callables (plain functions,
+:class:`BaselineFactory`, or any picklable callable object) when
+``workers > 1``; lambdas and closures still work in the serial path.
+
+A :class:`~repro.harness.cache.ResultCache` short-circuits cells whose
+fingerprint key has been computed before — across runs, sessions, and
+worker processes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import traceback
+import warnings
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.harness.cache import ResultCache, fingerprint
+from repro.harness.scenario import Scenario
+from repro.sim.metrics import MetricsReport
+
+__all__ = ["EvalCell", "BaselineFactory", "CellFailure", "run_cells",
+           "cell_key"]
+
+SchedulerFactory = Callable[[Scenario], object]
+
+
+@dataclass(frozen=True)
+class BaselineFactory:
+    """Picklable factory for one heuristic of the baseline roster.
+
+    ``sweep_schedulers`` factories are often written as lambdas; those
+    cannot cross a ``spawn`` process boundary. This one can — use it
+    (or any module-level callable) whenever ``workers > 1``.
+    """
+
+    name: str
+    platform_choice: str = "best"
+    parallelism: str = "fit"
+    seed: int = 0
+
+    def __call__(self, scenario: Scenario) -> object:
+        from repro.baselines import baseline_roster
+
+        roster = baseline_roster(self.platform_choice, self.parallelism,
+                                 self.seed)
+        if self.name not in roster:
+            raise KeyError(
+                f"unknown baseline {self.name!r}; choose from {sorted(roster)}")
+        return roster[self.name]
+
+
+@dataclass(frozen=True)
+class EvalCell:
+    """One unit of evaluation work: scheduler x scenario x trace seed.
+
+    Fully self-describing and picklable: a worker process reconstructs
+    the trace from ``trace_seed`` and the scheduler from ``factory``, so
+    shipping a cell costs bytes, not simulations.
+    """
+
+    scenario_name: str
+    scenario: Scenario
+    scheduler_name: str
+    factory: SchedulerFactory
+    trace_index: int
+    trace_seed: int
+    max_ticks: int
+
+    def describe(self) -> str:
+        return (f"(scenario={self.scenario_name!r}, "
+                f"scheduler={self.scheduler_name!r}, "
+                f"trace_seed={self.trace_seed})")
+
+
+class CellFailure(RuntimeError):
+    """An evaluation cell raised; carries the cell identity and traceback."""
+
+
+def cell_key(cell: EvalCell) -> str:
+    """Persistent cache key: a fingerprint of everything the result
+    depends on — scenario spec, scheduler name + full parameterization
+    (the *instantiated* scheduler, so a DRL policy's weights are part of
+    the key), trace seed, engine, and tick budget."""
+    policy = cell.factory(cell.scenario)
+    return fingerprint(cell.scenario, cell.scheduler_name, policy,
+                       cell.trace_seed, cell.scenario.engine, cell.max_ticks)
+
+
+def run_cell(cell: EvalCell) -> MetricsReport:
+    """Execute one cell: regenerate the trace, evaluate, report."""
+    from repro.core.training import evaluate_scheduler
+
+    policy = cell.factory(cell.scenario)
+    trace = cell.scenario.trace(cell.trace_seed)
+    return evaluate_scheduler(
+        policy, cell.scenario.platforms, [trace],
+        max_ticks=cell.max_ticks, engine=cell.scenario.engine,
+    )[0]
+
+
+def _run_cell_shielded(cell: EvalCell) -> Tuple[str, object]:
+    """Worker entry point: never raises.
+
+    Exceptions are returned as data (a formatted traceback) rather than
+    pickled across the process boundary — custom exception types may not
+    survive unpickling, and the parent wants the cell identity attached
+    anyway.
+    """
+    try:
+        return "ok", run_cell(cell)
+    except Exception as exc:
+        return "err", (cell.describe(), repr(exc), traceback.format_exc())
+
+
+def _failure_error(outcome: Tuple[str, object]) -> CellFailure:
+    desc, err, tb = outcome[1]
+    return CellFailure(
+        f"evaluation cell {desc} failed: {err}\n"
+        f"--- worker traceback ---\n{tb}")
+
+
+def _spawn_is_safe() -> bool:
+    """Whether a ``spawn`` child can re-import ``__main__``.
+
+    Scripts piped through stdin (``python - <<EOF``) advertise a
+    ``__main__.__file__`` that does not exist on disk; spawn children
+    would crash on import and the pool would respawn them forever.
+    Detect that case up front and fall back to serial execution.
+    """
+    main_mod = sys.modules.get("__main__")
+    main_file = getattr(main_mod, "__file__", None)
+    return main_file is None or os.path.exists(main_file)
+
+
+def _check_picklable(cells: Sequence[EvalCell]) -> None:
+    for cell in cells:
+        try:
+            pickle.dumps(cell)
+        except Exception as exc:
+            raise ValueError(
+                f"cell {cell.describe()} is not picklable ({exc!r}); "
+                "workers > 1 requires module-level scheduler factories "
+                "(e.g. repro.harness.parallel.BaselineFactory), not "
+                "lambdas or closures") from exc
+
+
+def run_cells(
+    cells: Sequence[EvalCell],
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[MetricsReport]:
+    """Evaluate every cell; returns reports in cell order.
+
+    ``workers > 1`` shards the uncached cells over a ``spawn`` process
+    pool. With a ``cache``, previously computed cells are served from
+    disk and only the misses are executed (and written back). The merged
+    result is independent of ``workers`` and of the hit/miss split:
+    cell ``i``'s report always lands at index ``i``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    results: List[Optional[MetricsReport]] = [None] * len(cells)
+    todo: List[int] = []
+    keys: List[Optional[str]] = [None] * len(cells)
+    for i, cell in enumerate(cells):
+        if cache is not None:
+            keys[i] = cell_key(cell)
+            hit = cache.get(keys[i])
+            if hit is not None:
+                results[i] = hit
+                continue
+        todo.append(i)
+
+    if todo:
+        if workers > 1 and len(todo) > 1 and not _spawn_is_safe():
+            warnings.warn(
+                "__main__ is not importable by spawned workers (stdin "
+                "script?); running evaluation cells serially",
+                RuntimeWarning, stacklevel=2)
+            workers = 1
+        if workers == 1 or len(todo) == 1:
+            outcomes = [_run_cell_shielded(cells[i]) for i in todo]
+        else:
+            import multiprocessing as mp
+
+            pending = [cells[i] for i in todo]
+            _check_picklable(pending)
+            ctx = mp.get_context("spawn")
+            with ctx.Pool(processes=min(workers, len(pending))) as pool:
+                outcomes = pool.map(_run_cell_shielded, pending)
+        # Persist every successful cell *before* surfacing a failure, so
+        # a retry after fixing one bad cell replays the rest from cache
+        # instead of recomputing the whole batch.
+        failure: Optional[CellFailure] = None
+        for i, outcome in zip(todo, outcomes):
+            if outcome[0] != "ok":
+                if failure is None:
+                    failure = _failure_error(outcome)
+                continue
+            results[i] = outcome[1]
+            if cache is not None and keys[i] is not None:
+                cache.put(keys[i], results[i])
+        if failure is not None:
+            raise failure
+    return results  # type: ignore[return-value]

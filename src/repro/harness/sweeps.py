@@ -1,12 +1,21 @@
-"""Generic scheduler-comparison sweeps over paired traces."""
+"""Generic scheduler-comparison sweeps over paired traces.
+
+The sweep grid is materialized as independent
+:class:`~repro.harness.parallel.EvalCell` specs — one per (scenario,
+scheduler, trace seed) — and executed through
+:func:`~repro.harness.parallel.run_cells`, which shards them over a
+process pool (``workers > 1``) and/or serves them from a persistent
+:class:`~repro.harness.cache.ResultCache`. Results are merged in cell
+order, so the aggregated rows are byte-identical regardless of worker
+count or cache state.
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro.core.training import evaluate_scheduler
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import EvalCell, run_cells
 from repro.harness.results import Row, aggregate_rows
 from repro.harness.scenario import Scenario
 
@@ -21,34 +30,58 @@ def sweep_schedulers(
     n_traces: int = 3,
     base_seed: int = 1000,
     max_ticks: Optional[int] = None,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[Row]:
     """Evaluate every scheduler on every scenario over paired traces.
 
-    ``schedulers`` maps name -> factory called per scenario (so trained
-    policies can be injected as constants and heuristics re-instantiated).
-    Returns aggregated rows: one per (scenario, scheduler) with mean/std
-    of the key metrics over the trace seeds.
+    ``schedulers`` maps name -> factory called per evaluation cell (so
+    trained policies can be injected as constants and heuristics
+    re-instantiated; the per-cell instantiation is what makes cells
+    independent and therefore shardable). Returns aggregated rows: one
+    per (scenario, scheduler) with mean/std of the key metrics over the
+    trace seeds.
+
+    ``workers > 1`` shards the cells over a spawn-safe process pool —
+    factories must then be picklable module-level callables (e.g.
+    :class:`~repro.harness.parallel.BaselineFactory`). ``cache`` makes
+    completed cells persistent: re-running a sweep recomputes only the
+    cells whose inputs changed.
+
+    Note on stateful schedulers: because the factory runs per cell, a
+    scheduler that consumes RNG across traces (the ``random`` baseline,
+    stochastic DRL decoding) replays its stream from the seed on every
+    trace instead of continuing it — that is what makes cells
+    order-independent. Deterministic schedulers (the rest of the roster,
+    greedy DRL) are unaffected.
     """
-    raw: List[Row] = []
+    cells: List[EvalCell] = []
     for scen_name, scenario in scenarios.items():
-        traces = scenario.traces(n_traces, base_seed=base_seed)
         ticks = max_ticks if max_ticks is not None else scenario.max_ticks
         for sched_name, factory in schedulers.items():
-            policy = factory(scenario)
-            reports = evaluate_scheduler(policy, scenario.platforms, traces,
-                                         max_ticks=ticks,
-                                         engine=scenario.engine)
-            for i, rep in enumerate(reports):
-                raw.append({
-                    "scenario": scen_name,
-                    "scheduler": sched_name,
-                    "trace": i,
-                    "miss_rate": rep.miss_rate,
-                    "mean_slowdown": rep.mean_slowdown,
-                    "mean_tardiness": rep.mean_tardiness,
-                    "mean_utilization": rep.mean_utilization,
-                    "throughput": rep.throughput,
-                })
+            for i in range(n_traces):
+                cells.append(EvalCell(
+                    scenario_name=scen_name,
+                    scenario=scenario,
+                    scheduler_name=sched_name,
+                    factory=factory,
+                    trace_index=i,
+                    trace_seed=base_seed + i,
+                    max_ticks=ticks,
+                ))
+    reports = run_cells(cells, workers=workers, cache=cache)
+    raw: List[Row] = []
+    for cell, rep in zip(cells, reports):
+        raw.append({
+            "scenario": cell.scenario_name,
+            "scheduler": cell.scheduler_name,
+            "trace": cell.trace_index,
+            "miss_rate": rep.miss_rate,
+            "mean_slowdown": rep.mean_slowdown,
+            "mean_tardiness": rep.mean_tardiness,
+            "mean_utilization": rep.mean_utilization,
+            "throughput": rep.throughput,
+        })
     return aggregate_rows(
         raw,
         group_by=["scenario", "scheduler"],

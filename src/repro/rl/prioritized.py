@@ -122,4 +122,8 @@ class PrioritizedReplayBuffer:
             raise ValueError("indices and td_errors must align")
         new = np.abs(np.asarray(td_errors, dtype=float)) + self.eps
         self.priorities[np.asarray(indices, dtype=np.intp)] = new
-        self._max_priority = max(self._max_priority, float(new.max()))
+        # Recompute the insert ceiling from the *live* array rather than
+        # ratcheting it up monotonically: a single early TD-error spike
+        # must not dominate every future insert once the spiked slot has
+        # been re-scored (or overwritten) at a lower priority.
+        self._max_priority = float(self.priorities[: self._size].max())

@@ -55,8 +55,11 @@ def n_step_returns(
         end = min(t + n, T)
         discounts = gamma ** np.arange(end - t)
         out[t] = float(np.sum(discounts * rewards[t:end]))
-        if end < T or last_value != 0.0 or end == T:
-            out[t] += (gamma ** (end - t)) * (ext_values[end] if end <= T else 0.0)
+        # Bootstrap: an in-episode cut (end < T) uses the stored value of
+        # s_{t+n}; a window reaching the episode boundary (end == T) uses
+        # ``last_value`` — 0 for terminal episodes, V(s_T) for truncated
+        # ones. ``ext_values[end]`` encodes both cases.
+        out[t] += (gamma ** (end - t)) * ext_values[end]
     return out
 
 

@@ -58,24 +58,13 @@ class VecEnv:
         The episode factory is shared (sampling-mode factories are
         stateless; replay-mode factories deal traces round-robin across
         the batch), each sibling getting an independent RNG stream.
+        Siblings are built with :meth:`SchedulerEnv.clone`, so they carry
+        the prototype's *complete* configuration — including any
+        environment option added after this method was written.
         """
-        from repro.core.scheduler_env import SchedulerEnv
-
         if num_envs < 1:
             raise ValueError("num_envs must be >= 1")
-        envs = [
-            SchedulerEnv(
-                env.factory,
-                config=env.config,
-                max_ticks=env.max_ticks,
-                drop_on_miss=env.drop_on_miss,
-                seed=base_seed + i,
-                work_scale=env.encoder.work_scale,
-                engine=env.engine,
-            )
-            for i in range(num_envs)
-        ]
-        return cls(envs)
+        return cls([env.clone(seed=base_seed + i) for i in range(num_envs)])
 
     # --- batched API ---------------------------------------------------------
     @property

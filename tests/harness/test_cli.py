@@ -35,6 +35,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--algo", "dqn"])
 
+    def test_parses_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workers == 1 and args.no_cache is False
+        assert args.loads == [0.5, 0.8]
+
+    def test_parses_sweep_workers_and_no_cache(self):
+        args = build_parser().parse_args(
+            ["sweep", "--workers", "4", "--no-cache", "--loads", "0.6"])
+        assert args.workers == 4 and args.no_cache is True
+        assert args.loads == [0.6]
+
+    def test_run_accepts_workers(self):
+        args = build_parser().parse_args(["run", "e03_load_sweep",
+                                          "--workers", "2"])
+        assert args.workers == 2
+
 
 class TestCommands:
     def test_list_exits_zero(self, capsys):
@@ -55,6 +71,26 @@ class TestCommands:
         data = json.loads(out_json.read_text())
         assert "e14_energy" in data["tables"]
         assert out_csv.read_text().startswith("scheduler")
+
+    def test_sweep_cold_then_warm_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        out_json = tmp_path / "rows.json"
+        argv = ["sweep", "--loads", "0.6", "--schedulers", "edf,fifo",
+                "--traces", "1", "--max-ticks", "60",
+                "--cache-dir", cache_dir, "--out", str(out_json)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "edf" in out and "fifo" in out
+        assert "2 misses" in out
+        data = json.loads(out_json.read_text())
+        assert len(data["tables"]["sweep"]) == 2
+        # Second run: every cell served from the persistent cache.
+        assert main(argv) == 0
+        assert "2 hits, 0 misses" in capsys.readouterr().out
+
+    def test_sweep_rejects_empty_schedulers(self, capsys):
+        assert main(["sweep", "--schedulers", ","]) == 2
+        assert "no schedulers" in capsys.readouterr().err
 
     def test_evaluate_without_policy(self, capsys):
         assert main(["evaluate", "--traces", "1"]) == 0

@@ -1,0 +1,284 @@
+"""Sharded parallel evaluation + persistent result cache.
+
+The acceptance properties of the parallel subsystem:
+
+* aggregated sweep rows are byte-identical for workers in {1, 2, 4};
+* the cache serves hits across runs, recomputes on any input change
+  (invalidation is by key construction), and a warm cache executes zero
+  cells;
+* a crash inside a worker surfaces in the parent as a
+  :class:`~repro.harness.parallel.CellFailure` naming the cell;
+* unpicklable factories are rejected up front with a clear error when
+  ``workers > 1`` (they remain fine serially).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import EDFScheduler
+from repro.core import CoreConfig
+from repro.harness import (
+    BaselineFactory,
+    CellFailure,
+    EvalCell,
+    ResultCache,
+    Scenario,
+    fingerprint,
+    run_cells,
+    standard_scenario,
+    sweep_schedulers,
+)
+from repro.harness.parallel import cell_key
+from repro.workload.classes import JobClass
+from repro.workload.generator import WorkloadConfig
+
+
+def small_scenario(load: float = 0.6) -> Scenario:
+    """Cheap scenario so spawn startup dominates, not simulation."""
+    return standard_scenario(
+        load=load, horizon=20, cpu_capacity=8, gpu_capacity=4,
+        core=CoreConfig(queue_slots=3, running_slots=2, horizon=6),
+        max_ticks=80)
+
+
+def broken_scenario() -> Scenario:
+    """Trace generation raises: the only job class runs on no platform."""
+    from repro.sim.platform import Platform
+
+    cls = JobClass(name="orphan", mix_weight=1.0, work_lognorm=(2.0, 0.5),
+                   parallelism_range=(1, 2), serial_fraction=0.1,
+                   affinity={"tpu": 1.0})
+    return Scenario(platforms=[Platform("cpu", 8, 1.0)],
+                    workload=WorkloadConfig(classes=[cls], horizon=10),
+                    load=0.5, max_ticks=50)
+
+
+SCHEDULERS = {"edf": BaselineFactory("edf"), "fifo": BaselineFactory("fifo")}
+
+
+def rows_bytes(rows) -> str:
+    return json.dumps(rows, sort_keys=True)
+
+
+class TestParallelMatchesSerial:
+    def test_rows_byte_identical_across_worker_counts(self):
+        scenarios = {"base": small_scenario()}
+        reference = None
+        for workers in (1, 2, 4):
+            rows = sweep_schedulers(scenarios, SCHEDULERS, n_traces=2,
+                                    workers=workers)
+            if reference is None:
+                reference = rows_bytes(rows)
+            assert rows_bytes(rows) == reference, f"workers={workers} diverged"
+
+    def test_run_cells_preserves_cell_order(self):
+        scenario = small_scenario()
+        cells = [
+            EvalCell("base", scenario, name, SCHEDULERS[name],
+                     trace_index=i, trace_seed=1000 + i, max_ticks=80)
+            for name in ("edf", "fifo") for i in range(2)
+        ]
+        serial = run_cells(cells, workers=1)
+        parallel = run_cells(cells, workers=2)
+        assert [r.miss_rate for r in serial] == [r.miss_rate for r in parallel]
+        assert [r.mean_slowdown for r in serial] == \
+            [r.mean_slowdown for r in parallel]
+
+    def test_lambda_factories_still_work_serially(self):
+        rows = sweep_schedulers({"base": small_scenario()},
+                                {"edf": lambda s: EDFScheduler()}, n_traces=1)
+        assert len(rows) == 1
+
+    def test_unpicklable_factory_rejected_with_workers(self):
+        with pytest.raises(ValueError, match="picklable"):
+            sweep_schedulers({"base": small_scenario()},
+                             {"edf": lambda s: EDFScheduler()},
+                             n_traces=2, workers=2)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_cells([], workers=0)
+
+
+class TestCache:
+    def test_miss_then_hit_and_zero_recompute(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        scenarios = {"base": small_scenario()}
+        rows_cold = sweep_schedulers(scenarios, SCHEDULERS, n_traces=2,
+                                     cache=cache)
+        assert cache.stats == {"hits": 0, "misses": 4}
+        assert len(cache) == 4
+
+        # Warm run: every cell served from disk, no simulation executed.
+        import repro.harness.parallel as par
+
+        def boom(cell):  # pragma: no cover - would fail the test if called
+            raise AssertionError("cell executed despite warm cache")
+
+        monkeypatch.setattr(par, "_run_cell_shielded", boom)
+        rows_warm = sweep_schedulers(scenarios, SCHEDULERS, n_traces=2,
+                                     cache=cache)
+        assert cache.stats["hits"] == 4
+        assert rows_bytes(rows_warm) == rows_bytes(rows_cold)
+
+    def test_cache_rows_match_uncached(self, tmp_path):
+        scenarios = {"base": small_scenario()}
+        plain = sweep_schedulers(scenarios, SCHEDULERS, n_traces=2)
+        cached = sweep_schedulers(scenarios, SCHEDULERS, n_traces=2,
+                                  cache=ResultCache(tmp_path / "c"))
+        replayed = sweep_schedulers(scenarios, SCHEDULERS, n_traces=2,
+                                    cache=ResultCache(tmp_path / "c"))
+        assert rows_bytes(plain) == rows_bytes(cached) == rows_bytes(replayed)
+
+    @pytest.mark.parametrize("change", ["load", "max_ticks", "engine",
+                                        "seed", "scheduler"])
+    def test_any_input_change_invalidates(self, tmp_path, change):
+        cache = ResultCache(tmp_path / "cache")
+        sweep_schedulers({"base": small_scenario()}, {"edf": SCHEDULERS["edf"]},
+                         n_traces=1, cache=cache)
+        assert cache.stats == {"hits": 0, "misses": 1}
+
+        scenarios = {"base": small_scenario()}
+        kwargs = dict(n_traces=1, cache=cache)
+        schedulers = {"edf": SCHEDULERS["edf"]}
+        if change == "load":
+            scenarios = {"base": small_scenario(load=0.9)}
+        elif change == "max_ticks":
+            kwargs["max_ticks"] = 60
+        elif change == "engine":
+            scenarios = {"base": small_scenario().with_engine("event")}
+        elif change == "seed":
+            kwargs["base_seed"] = 2000
+        elif change == "scheduler":
+            schedulers = {"edf": BaselineFactory("edf", parallelism="min")}
+        sweep_schedulers(scenarios, schedulers, **kwargs)
+        assert cache.stats == {"hits": 0, "misses": 2}
+
+    def test_scheduler_name_alone_does_not_mask_params(self):
+        """Two factories with the same display name but different params
+        must produce different keys (the instantiated scheduler is part
+        of the fingerprint)."""
+        scenario = small_scenario()
+        a = EvalCell("s", scenario, "edf", BaselineFactory("edf"),
+                     0, 1000, 80)
+        b = EvalCell("s", scenario, "edf",
+                     BaselineFactory("edf", platform_choice="blind"),
+                     0, 1000, 80)
+        assert cell_key(a) != cell_key(b)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        scenario = small_scenario()
+        cell = EvalCell("s", scenario, "edf", SCHEDULERS["edf"], 0, 1000, 80)
+        key = cell_key(cell)
+        run_cells([cell], cache=cache)
+        path = cache._path(key)
+        assert path.exists()
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_cells([EvalCell("s", small_scenario(), "edf", SCHEDULERS["edf"],
+                            0, 1000, 80)], cache=cache)
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestFingerprint:
+    def test_deterministic_and_structural(self):
+        a = small_scenario()
+        b = small_scenario()
+        assert a is not b
+        assert fingerprint(a) == fingerprint(b)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_sensitive_to_fields(self):
+        assert small_scenario().fingerprint() != \
+            small_scenario(load=0.7).fingerprint()
+
+    def test_dict_order_independent(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_ndarray_content(self):
+        x = np.arange(4.0)
+        y = np.arange(4.0)
+        z = np.arange(4.0) + 1e-9
+        assert fingerprint(x) == fingerprint(y)
+        assert fingerprint(x) != fingerprint(z)
+
+    def test_used_scheduler_fingerprints_like_fresh(self):
+        """A scheduler that has already evaluated traces (consumed RNG,
+        warmed memo caches) must keep its cache key — otherwise every
+        re-run in the same session misses."""
+        from repro.baselines import RandomScheduler
+        from repro.core.training import evaluate_scheduler
+
+        scenario = small_scenario()
+        used = RandomScheduler(seed=5)
+        before = fingerprint(used)
+        assert before == fingerprint(RandomScheduler(seed=5))
+        assert before != fingerprint(RandomScheduler(seed=6))
+        evaluate_scheduler(used, scenario.platforms, [scenario.trace(1000)],
+                           max_ticks=40)
+        assert fingerprint(used) == before
+
+    def test_used_drl_scheduler_fingerprints_like_fresh(self):
+        from repro.core import DRLScheduler
+        from repro.core.training import evaluate_scheduler
+        from repro.rl.policies import CategoricalPolicy
+
+        scenario = small_scenario()
+        env = scenario.eval_env(scenario.traces(1), seed=0)
+        policy = CategoricalPolicy.for_sizes(
+            env.encoder.obs_dim, env.actions.n, (16,),
+            np.random.default_rng(0))
+        sched = DRLScheduler(policy, scenario.core,
+                             [p.name for p in scenario.platforms], greedy=True)
+        before = fingerprint(sched)
+        evaluate_scheduler(sched, scenario.platforms, [scenario.trace(1000)],
+                           max_ticks=40)
+        assert fingerprint(sched) == before
+        # ... but changed weights must change the key.
+        policy.net.params()[0][:] += 1.0
+        assert fingerprint(sched) != before
+
+
+class TestCrashSurfacing:
+    def test_serial_crash_names_the_cell(self):
+        cells = [EvalCell("broken", broken_scenario(), "edf",
+                          SCHEDULERS["edf"], 0, 1000, 50)]
+        with pytest.raises(CellFailure, match="scenario='broken'"):
+            run_cells(cells, workers=1)
+
+    def test_worker_crash_names_the_cell_and_carries_traceback(self):
+        # Two cells so the pool path is exercised (one healthy, one broken).
+        cells = [
+            EvalCell("ok", small_scenario(), "edf", SCHEDULERS["edf"],
+                     0, 1000, 80),
+            EvalCell("broken", broken_scenario(), "edf", SCHEDULERS["edf"],
+                     0, 1000, 50),
+        ]
+        with pytest.raises(CellFailure) as excinfo:
+            run_cells(cells, workers=2)
+        msg = str(excinfo.value)
+        assert "scenario='broken'" in msg
+        assert "worker traceback" in msg
+        assert "ValueError" in msg
+
+    def test_successful_cells_cached_despite_failure(self, tmp_path):
+        """One bad cell must not discard the batch: completed cells are
+        written to the cache before the failure surfaces, so a retry
+        only pays for what never finished."""
+        cache = ResultCache(tmp_path / "cache")
+        good = EvalCell("ok", small_scenario(), "edf", SCHEDULERS["edf"],
+                        0, 1000, 80)
+        bad = EvalCell("broken", broken_scenario(), "edf", SCHEDULERS["edf"],
+                       0, 1000, 50)
+        with pytest.raises(CellFailure):
+            run_cells([good, bad], workers=1, cache=cache)
+        assert len(cache) == 1
+        assert cache.get(cell_key(good)) is not None

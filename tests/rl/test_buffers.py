@@ -118,3 +118,18 @@ class TestReplayBuffer:
             ReplayBuffer(0, 4, 3)
         with pytest.raises(ValueError):
             ReplayBuffer(10, 0, 3)
+
+    def test_wraparound_lands_at_ring_start(self, rng):
+        """At capacity the head wraps to slot 0 and overwrite order is
+        strictly oldest-first, one slot per add."""
+        buf = ReplayBuffer(3, 4, 3)
+        self._fill(buf, 3, rng)           # rewards 0, 1, 2; head wraps to 0
+        assert buf._head == 0
+        buf.add(np.zeros(4), 0, 99.0, np.zeros(4), False,
+                np.ones(3, dtype=bool))
+        assert buf.rewards.tolist() == [99.0, 1.0, 2.0]
+        assert len(buf) == 3              # size stays capped
+        buf.add(np.zeros(4), 0, 100.0, np.zeros(4), True,
+                np.ones(3, dtype=bool))
+        assert buf.rewards.tolist() == [99.0, 100.0, 2.0]
+        assert bool(buf.dones[1]) is True

@@ -111,6 +111,42 @@ class TestSampling:
         assert buf.priorities[4] >= 50.0
 
 
+class TestMaxPriorityDecays:
+    def test_ceiling_follows_live_priorities_down(self):
+        """An early TD-error spike must stop dominating inserts once the
+        spiked slot has been re-scored at a lower priority."""
+        buf = PrioritizedReplayBuffer(8, OBS_DIM, N_ACTIONS, eps=0.01)
+        fill(buf, 4)
+        buf.update_priorities(np.array([0]), np.array([100.0]))
+        assert buf._max_priority == pytest.approx(100.01)
+        # The spike is re-scored down; the ceiling must follow.
+        buf.update_priorities(np.arange(4), np.array([0.5, 0.2, 0.3, 0.1]))
+        assert buf._max_priority == pytest.approx(0.51)
+        fill(buf, 1)
+        assert buf.priorities[4] == pytest.approx(0.51)
+
+    def test_ceiling_tracks_overwritten_spike_at_capacity(self):
+        """When the ring wraps over the spiked slot, the ceiling reflects
+        the live array after the next update, not the dead spike."""
+        buf = PrioritizedReplayBuffer(4, OBS_DIM, N_ACTIONS, eps=0.01)
+        fill(buf, 4)
+        buf.update_priorities(np.array([0]), np.array([100.0]))
+        fill(buf, 1)              # wraps: slot 0 overwritten at max priority
+        assert buf.priorities[0] == pytest.approx(100.01)
+        buf.update_priorities(np.array([0]), np.array([1.0]))
+        assert buf._max_priority == pytest.approx(1.01)
+
+    def test_wraparound_inserts_use_current_ceiling(self):
+        buf = PrioritizedReplayBuffer(3, OBS_DIM, N_ACTIONS, eps=0.01)
+        fill(buf, 3)
+        buf.update_priorities(np.arange(3), np.array([2.0, 0.1, 0.1]))
+        fill(buf, 2)              # overwrites slots 0 and 1 (obs 0.0, 1.0)
+        assert len(buf) == 3
+        assert sorted(buf.obs[:, 0].tolist()) == [0.0, 1.0, 2.0]
+        assert buf.priorities[0] == pytest.approx(2.01)
+        assert buf.priorities[1] == pytest.approx(2.01)
+
+
 class TestPriorityUpdates:
     def test_update_uses_abs_error_plus_eps(self):
         buf = PrioritizedReplayBuffer(8, OBS_DIM, N_ACTIONS, eps=0.01)

@@ -138,6 +138,43 @@ class TestNStepReturns:
         with pytest.raises(ValueError):
             n_step_returns(np.ones(2), np.ones(2), 0.9, 0)
 
+    def test_terminal_episode_bootstraps_zero(self):
+        """Windows reaching the episode end of a *terminal* episode
+        (``last_value=0``) must not bootstrap anything."""
+        rewards = np.array([1.0, 2.0, 3.0])
+        values = np.array([5.0, 6.0, 7.0])
+        out = n_step_returns(rewards, values, gamma=0.5, n=2, last_value=0.0)
+        # t=0: in-episode cut -> bootstraps values[2].
+        assert out[0] == pytest.approx(1.0 + 0.5 * 2.0 + 0.25 * 7.0)
+        # t=1 and t=2 reach the boundary -> pure reward sums.
+        assert out[1] == pytest.approx(2.0 + 0.5 * 3.0)
+        assert out[2] == pytest.approx(3.0)
+
+    def test_truncated_episode_bootstraps_last_value_once(self):
+        """A truncated episode bootstraps V(s_T) exactly once per window,
+        discounted by the window length that reaches the boundary."""
+        rewards = np.array([1.0, 2.0, 3.0])
+        values = np.array([5.0, 6.0, 7.0])
+        v_T = 11.0
+        out = n_step_returns(rewards, values, gamma=0.5, n=2, last_value=v_T)
+        # t=0 cuts in-episode: uses values[2], NOT last_value.
+        assert out[0] == pytest.approx(1.0 + 0.5 * 2.0 + 0.25 * 7.0)
+        # t=1: window [r1, r2] then the boundary -> gamma^2 * v_T.
+        assert out[1] == pytest.approx(2.0 + 0.5 * 3.0 + 0.25 * v_T)
+        # t=2: one reward then the boundary -> gamma * v_T.
+        assert out[2] == pytest.approx(3.0 + 0.5 * v_T)
+
+    def test_truncated_matches_discounted_returns_when_n_spans(self):
+        """With n >= T the n-step targets collapse to full discounted
+        returns seeded by the same bootstrap."""
+        rewards = np.array([1.0, -2.0, 0.5, 3.0])
+        values = np.zeros(4)
+        for last_value in (0.0, 4.2):
+            expected = discounted_returns(rewards, 0.9, bootstrap=last_value)
+            got = n_step_returns(rewards, values, gamma=0.9, n=10,
+                                 last_value=last_value)
+            assert np.allclose(got, expected)
+
 
 class TestNormalizeAdvantages:
     def test_zero_mean_unit_std(self, rng):

@@ -47,6 +47,47 @@ class TestVecEnvBasics:
         with pytest.raises(ValueError, match="num_envs"):
             VecEnv.from_env(env, 0)
 
+    def test_clone_carries_full_config(self, scenario):
+        """Siblings must match the prototype on *every* constructor
+        option — a clone that drops one silently corrupts vectorized
+        training (the VecEnv.from_env hazard)."""
+        from repro.core.scheduler_env import EpisodeFactory, SchedulerEnv
+
+        factory = EpisodeFactory(scenario.platforms,
+                                 fixed_traces=scenario.traces(2))
+        env = SchedulerEnv(factory, config=scenario.core, max_ticks=77,
+                           drop_on_miss=True, seed=3, work_scale=13.0,
+                           engine="event")
+        clone = env.clone(seed=9)
+        assert clone is not env
+        assert clone.factory is env.factory
+        assert clone.config is env.config
+        assert clone.max_ticks == 77
+        assert clone.drop_on_miss is True
+        assert clone.encoder.work_scale == 13.0
+        assert clone.engine == "event"
+        # The ctor-kwargs capture covers the *whole* signature, so a new
+        # env option cannot be silently dropped by clones.
+        import inspect
+
+        params = set(inspect.signature(type(env).__init__).parameters)
+        params.discard("self")
+        assert set(env._ctor_kwargs) == params
+
+    def test_from_env_siblings_match_prototype(self, scenario):
+        from repro.core.scheduler_env import SchedulerEnv
+
+        proto = scenario.train_env(seed=0)
+        env = SchedulerEnv(proto.factory, config=proto.config,
+                           max_ticks=proto.max_ticks, drop_on_miss=True,
+                           seed=0, work_scale=30.0, engine="event")
+        vec = VecEnv.from_env(env, 3, base_seed=100)
+        for sibling in vec.envs:
+            assert sibling.drop_on_miss is True
+            assert sibling.engine == "event"
+            assert sibling.encoder.work_scale == 30.0
+            assert sibling.max_ticks == env.max_ticks
+
     def test_batched_obs_match_serial_encode(self, env):
         """Every row of the batched encode equals the env's own encode."""
         vec = VecEnv.from_env(env, 3, base_seed=7)
