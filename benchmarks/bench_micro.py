@@ -143,6 +143,72 @@ def test_dag_critical_path(benchmark):
     benchmark(cp)
 
 
+# --- trace ingestion throughput ---------------------------------------------
+
+def test_ingest_swf_fixture(benchmark):
+    """Parse + normalize the bundled SWF fixture (the import hot path)."""
+    from repro.sim import Platform
+    from repro.workload.ingest import IngestConfig, normalize_records, parse_swf, swf_fixture_path
+
+    platforms = [Platform("cpu", 24, 1.0), Platform("gpu", 8, 1.0)]
+    config = IngestConfig(tick_seconds=120.0, target_load=0.8)
+
+    def ingest():
+        _, records = parse_swf(swf_fixture_path())
+        return normalize_records(records, config, platforms)
+
+    jobs = benchmark(ingest)
+    assert jobs
+
+
+def _bench_ingest(reps: int = 30) -> dict:
+    """Jobs/sec through parse + normalize of both bundled fixtures.
+
+    Parsing and normalizing are timed separately so a regression in
+    either stage is attributable; rates are jobs per second of the
+    combined pipeline (what ``trace import`` pays per job).
+    """
+    from repro.sim import Platform
+    from repro.workload.ingest import (
+        ALIBABA_LIKE_SPEC,
+        IngestConfig,
+        normalize_records,
+        parse_columnar,
+        parse_swf,
+        columnar_fixture_path,
+        swf_fixture_path,
+    )
+
+    platforms = [Platform("cpu", 24, 1.0), Platform("gpu", 8, 1.0)]
+    config = IngestConfig(tick_seconds=120.0, target_load=0.8)
+
+    def one(parse, path, *parse_args):
+        parse_times, norm_times, n_jobs = [], [], 0
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            _, records = parse(path, *parse_args)
+            t1 = time.perf_counter()
+            jobs = normalize_records(records, config, platforms)
+            t2 = time.perf_counter()
+            parse_times.append(t1 - t0)
+            norm_times.append(t2 - t1)
+            n_jobs = len(jobs)
+        t_parse = statistics.median(parse_times)
+        t_norm = statistics.median(norm_times)
+        return {
+            "jobs": n_jobs,
+            "parse_ms": round(t_parse * 1e3, 3),
+            "normalize_ms": round(t_norm * 1e3, 3),
+            "jobs_per_sec": round(n_jobs / (t_parse + t_norm)),
+        }
+
+    return {
+        "swf_fixture": one(parse_swf, swf_fixture_path()),
+        "columnar_fixture": one(parse_columnar, columnar_fixture_path(),
+                                ALIBABA_LIKE_SPEC),
+    }
+
+
 # --- tick vs event kernel / batched vs serial rollouts -----------------------
 
 def sparse_trace(gap: int = 120, n: int = 50):
@@ -331,17 +397,25 @@ def _bench_parallel_sweep(workers: int = 4, n_traces: int = 3) -> dict:
 
 
 def main(argv=None) -> int:
-    """Record the kernel/rollout comparisons to BENCH_kernel.json and the
-    parallel-sweep comparison to BENCH_parallel.json (``--skip-parallel``
-    to leave the latter untouched)."""
+    """Record the kernel/rollout comparisons to BENCH_kernel.json, the
+    ingestion throughput to BENCH_ingest.json, and the parallel-sweep
+    comparison to BENCH_parallel.json (``--skip-parallel`` to leave the
+    latter untouched)."""
     import argparse
 
     parser = argparse.ArgumentParser()
     parser.add_argument("--skip-parallel", action="store_true",
-                        help="only run the kernel/rollout benchmarks")
+                        help="only run the kernel/rollout/ingest benchmarks")
     args = parser.parse_args(argv)
 
     root = Path(__file__).resolve().parent.parent
+
+    ingest = {"trace_ingest": _bench_ingest()}
+    out_ingest = root / "BENCH_ingest.json"
+    out_ingest.write_text(json.dumps(ingest, indent=2) + "\n")
+    print(json.dumps(ingest, indent=2))
+    print(f"results -> {out_ingest}\n")
+
     results = {
         "kernel_sparse_trace": _bench_kernel(),
         "rollout_ppo_bench_policy": _bench_rollout((128, 128)),

@@ -6,14 +6,25 @@ Usage::
     python -m repro.cli run e02_main_table --out results.json
     python -m repro.cli run e03_load_sweep --csv e03.csv --workers 4
     python -m repro.cli sweep --loads 0.5 0.8 --workers 4
-    python -m repro.cli sweep --loads 0.5 0.8 --no-cache
+    python -m repro.cli sweep --scenario swf-fixture --workers 2
     python -m repro.cli train --load 0.7 --iterations 60 --out policy.npz
     python -m repro.cli evaluate --policy policy.npz --load 0.7 --traces 4
+    python -m repro.cli trace import --format swf --input log.swf.gz \
+        --out trace.json.gz --target-load 0.8
+    python -m repro.cli trace stats --input trace.json.gz
+    python -m repro.cli scenarios
 
 ``sweep`` shards its (scenario x scheduler x trace) evaluation cells
 over a spawn-safe process pool and memoizes each cell in a persistent
 on-disk cache (``.repro-cache/`` by default), so repeated sweeps only
 pay for cells whose inputs changed.
+
+``trace`` ingests real cluster archives (Standard Workload Format logs
+or columnar CSV tables, gzip-aware) into the repo's trace JSON via the
+:mod:`repro.workload.ingest` pipeline; ``--scenario`` on ``sweep`` /
+``evaluate`` / ``train`` then selects a named scenario from the
+registry (:mod:`repro.harness.library`) — or an imported trace file
+directly.
 
 ``run`` accepts any registered experiment name (the ``eXX_*`` functions
 of :mod:`repro.harness.experiments`); sizes default to the bench-scale
@@ -92,14 +103,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
     from repro.harness.experiments import quick_scenario
+    from repro.harness.library import get_scenario
     from repro.harness.parallel import BaselineFactory
     from repro.harness.sweeps import sweep_schedulers
     from repro.harness.tables import format_table
 
-    scenarios = {
-        f"load-{load:g}": quick_scenario(load=load).with_engine(args.engine)
-        for load in args.loads
-    }
+    if args.scenario:
+        scenarios = {
+            name: get_scenario(name).with_engine(args.engine)
+            for name in args.scenario
+        }
+    else:
+        scenarios = {
+            f"load-{load:g}": quick_scenario(load=load).with_engine(args.engine)
+            for load in args.loads
+        }
     schedulers = {
         name.strip(): BaselineFactory(name.strip())
         for name in args.schedulers.split(",") if name.strip()
@@ -129,15 +147,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_scenario(args: argparse.Namespace):
+    """The scenario a train/evaluate command operates on.
+
+    ``--scenario`` selects a registry name (or imported trace file);
+    otherwise the synthetic quick scenario at ``--load`` is used.
+    """
+    from repro.harness.experiments import quick_scenario
+    from repro.harness.library import get_scenario
+
+    if getattr(args, "scenario", None):
+        return get_scenario(args.scenario).with_engine(args.engine)
+    return quick_scenario(load=args.load).with_engine(args.engine)
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
-    from repro.harness.experiments import quick_scenario, train_drl
+    from repro.harness.experiments import train_drl
     from repro.nn.serialize import save_params
 
-    scenario = quick_scenario(load=args.load).with_engine(args.engine)
+    scenario = _resolve_scenario(args)
     sched = train_drl(scenario, iterations=args.iterations, seed=args.seed,
                       algo=args.algo, num_envs=args.num_envs)
     save_params(sched.policy.net, args.out)
-    print(f"trained {args.algo} policy (load={args.load}, "
+    what = args.scenario if args.scenario else f"load={args.load}"
+    print(f"trained {args.algo} policy ({what}, "
           f"{args.iterations} iters, {args.num_envs} envs, "
           f"{args.engine} engine) -> {args.out}")
     return 0
@@ -159,10 +192,9 @@ def _load_policy(path: str, scenario) -> "object":
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.baselines import baseline_roster
     from repro.core import evaluate_scheduler
-    from repro.harness.experiments import quick_scenario
     from repro.harness.tables import format_table
 
-    scenario = quick_scenario(load=args.load).with_engine(args.engine)
+    scenario = _resolve_scenario(args)
     traces = scenario.traces(args.traces)
     schedulers = dict(baseline_roster())
     if args.policy:
@@ -180,7 +212,156 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             "mean_utilization": float(np.mean([r.mean_utilization for r in reports])),
         })
     rows.sort(key=lambda r: r["miss_rate"])
-    print(format_table(rows, title=f"evaluation (load={args.load})"))
+    what = args.scenario if args.scenario else f"load={args.load}"
+    print(format_table(rows, title=f"evaluation ({what})"))
+    return 0
+
+
+# --- trace ingestion ------------------------------------------------------
+
+def _ingest_config(args: argparse.Namespace):
+    from repro.workload.ingest import IngestConfig
+
+    kwargs = dict(
+        tick_seconds=args.tick_seconds,
+        max_jobs=args.max_jobs,
+        subsample=args.subsample,
+        target_load=args.target_load,
+        max_parallelism_cap=args.max_parallelism,
+        time_critical_fraction=args.tc_fraction,
+        accel_fraction=args.accel_fraction,
+        seed=args.seed,
+    )
+    if args.window is not None:
+        kwargs["window"] = tuple(args.window)
+    return IngestConfig(**kwargs)
+
+
+def _columnar_spec(args: argparse.Namespace):
+    import dataclasses
+
+    from repro.workload.ingest import ALIBABA_LIKE_SPEC, GOOGLE_LIKE_SPEC, ColumnarSpec
+
+    presets = {"alibaba": ALIBABA_LIKE_SPEC, "google": GOOGLE_LIKE_SPEC}
+    # Explicitly-passed layout flags override the preset; None/False means
+    # "not given" (argparse defaults), so presets keep their own values.
+    overrides = {}
+    if args.delimiter is not None:
+        overrides["delimiter"] = args.delimiter
+    if args.time_unit is not None:
+        overrides["time_unit"] = args.time_unit
+    if args.end_time_column is not None:
+        overrides["end_time_column"] = args.end_time_column
+    if args.no_header:
+        overrides["has_header"] = False
+    if args.columns:
+        pairs = []
+        for item in args.columns.split(","):
+            field_name, _, column = item.partition("=")
+            if not column:
+                raise SystemExit(
+                    f"--columns entries must look like field=column, got {item!r}")
+            pairs.append((field_name.strip(), column.strip()))
+        return ColumnarSpec(columns=tuple(pairs), **overrides)
+    return dataclasses.replace(presets[args.spec], **overrides)
+
+
+def _parse_archive(args: argparse.Namespace):
+    from repro.workload.ingest import parse_columnar, parse_swf
+
+    if args.format == "swf":
+        return parse_swf(args.input)
+    return parse_columnar(args.input, _columnar_spec(args))
+
+
+def _platforms_for_import(args: argparse.Namespace):
+    from repro.sim.platform import Platform
+
+    platforms = [Platform("cpu", args.cpu_capacity, 1.0)]
+    if args.gpu_capacity > 0:
+        platforms.append(Platform("gpu", args.gpu_capacity, 1.0))
+    return platforms
+
+
+def _cmd_trace_import(args: argparse.Namespace) -> int:
+    from repro.workload.ingest import measured_load, normalize_records
+    from repro.workload.traces import save_trace
+
+    meta, records = _parse_archive(args)
+    platforms = _platforms_for_import(args)
+    config = _ingest_config(args)
+    jobs = normalize_records(records, config, platforms)
+    if not jobs:
+        print(f"no usable jobs in {args.input!r} after filtering "
+              f"({meta.n_records} records parsed, {meta.n_skipped} skipped)",
+              file=sys.stderr)
+        return 2
+    save_trace(jobs, args.out)
+    load = measured_load(jobs, platforms)
+    horizon = max(j.arrival_time for j in jobs) + 1
+    n_tc = sum(1 for j in jobs if j.job_class.startswith("tc"))
+    print(f"imported {len(jobs)} jobs from {args.input} ({meta.format}; "
+          f"{meta.n_skipped} lines skipped)")
+    print(f"  horizon: {horizon} ticks ({config.tick_seconds:g}s/tick), "
+          f"offered load: {load:.3f}, "
+          f"classes: {n_tc} time-critical / {len(jobs) - n_tc} best-effort")
+    print(f"trace -> {args.out}")
+    return 0
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    from repro.harness.tables import format_table
+
+    if args.format == "json" or args.input.endswith((".json", ".json.gz")):
+        from collections import Counter
+
+        from repro.workload.traces import load_trace
+
+        jobs = load_trace(args.input)
+        if not jobs:
+            print("trace is empty")
+            return 0
+        horizon = max(j.arrival_time for j in jobs) + 1
+        classes = Counter(j.job_class for j in jobs)
+        works = sorted(j.work for j in jobs)
+        rows = [{
+            "jobs": len(jobs),
+            "horizon_ticks": horizon,
+            "classes": " ".join(f"{k}:{v}" for k, v in sorted(classes.items())),
+            "work_p50": round(works[len(works) // 2], 2),
+            "work_max": round(works[-1], 2),
+            "max_k_max": max(j.max_parallelism for j in jobs),
+        }]
+        print(format_table(rows, title=f"trace {args.input}"))
+        return 0
+
+    from repro.workload.ingest import record_stats
+
+    meta, records = _parse_archive(args)
+    stats = record_stats(records)
+    rows = [{k: (round(v, 2) if isinstance(v, float) else v)
+             for k, v in stats.items()}]
+    print(format_table(rows, title=f"{meta.format} archive {args.input} "
+                                   f"({meta.n_skipped} lines skipped)"))
+    return 0
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    from repro.workload.traces import load_trace, save_trace
+
+    jobs = load_trace(args.input)
+    save_trace(jobs, args.out)
+    print(f"converted {len(jobs)} jobs: {args.input} -> {args.out}")
+    return 0
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    from repro.harness.library import list_scenarios
+
+    entries = list_scenarios()
+    width = max(len(n) for n in entries)
+    for name, desc in entries.items():
+        print(f"{name:<{width}}  {desc}")
     return 0
 
 
@@ -209,6 +390,9 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="sharded scheduler-comparison sweep with result cache")
     sweep.add_argument("--loads", type=float, nargs="+", default=[0.5, 0.8],
                        help="offered loads, one scenario each")
+    sweep.add_argument("--scenario", nargs="+", default=None,
+                       help="named scenario(s) from the registry (or imported "
+                            "trace files); overrides --loads")
     sweep.add_argument("--schedulers", default="fifo,edf,tetris,greedy-elastic",
                        help="comma-separated baseline names")
     sweep.add_argument("--traces", type=int, default=3,
@@ -227,6 +411,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser("train", help="train a DRL policy and save it")
     train.add_argument("--load", type=float, default=0.7)
+    train.add_argument("--scenario", default=None,
+                       help="train on a named scenario instead of the "
+                            "synthetic quick scenario at --load")
     train.add_argument("--iterations", type=int, default=60)
     train.add_argument("--algo", default="ppo",
                        choices=["reinforce", "a2c", "ppo"])
@@ -242,12 +429,86 @@ def build_parser() -> argparse.ArgumentParser:
                         help="compare baselines (and a saved policy) on traces")
     ev.add_argument("--policy", default=None, help="path from `train --out`")
     ev.add_argument("--load", type=float, default=0.7)
+    ev.add_argument("--scenario", default=None,
+                    help="evaluate on a named scenario instead of the "
+                         "synthetic quick scenario at --load")
     ev.add_argument("--traces", type=int, default=3)
     ev.add_argument("--engine", default="tick", choices=["tick", "event"],
                     help="simulation driver (event = idle fast-forward)")
     ev.add_argument("--workers", type=int, default=1,
                     help="process-pool shards for evaluation traces")
     ev.set_defaults(func=_cmd_evaluate)
+
+    sub.add_parser(
+        "scenarios", help="list the named scenario registry"
+    ).set_defaults(func=_cmd_scenarios)
+
+    trace = sub.add_parser(
+        "trace", help="ingest and inspect real cluster traces")
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def add_archive_args(p, need_format_default=None):
+        p.add_argument("--input", required=True,
+                       help="archive file (SWF or CSV; *.gz transparently)")
+        p.add_argument("--format", default=need_format_default,
+                       choices=["swf", "columnar"] +
+                               (["json"] if need_format_default == "json" else []),
+                       required=need_format_default is None,
+                       help="archive format")
+        p.add_argument("--spec", default="alibaba",
+                       choices=["alibaba", "google"],
+                       help="columnar preset (start/end second pairs vs "
+                            "microsecond event layout)")
+        p.add_argument("--columns", default=None,
+                       help="custom columnar mapping field=column,... "
+                            "(overrides --spec)")
+        p.add_argument("--delimiter", default=None,
+                       help="override the spec's delimiter")
+        p.add_argument("--time-unit", default=None, choices=["s", "ms", "us"],
+                       help="override the spec's time unit")
+        p.add_argument("--end-time-column", default=None,
+                       help="derive run_time = end - start from this column")
+        p.add_argument("--no-header", action="store_true",
+                       help="columns are 0-based indices, not header names")
+
+    timport = tsub.add_parser(
+        "import", help="normalize an archive into the repo's trace JSON")
+    add_archive_args(timport)
+    timport.add_argument("--out", required=True,
+                         help="output trace (*.json or *.json.gz)")
+    timport.add_argument("--tick-seconds", type=float, default=60.0,
+                         help="archive seconds per simulator tick")
+    timport.add_argument("--max-jobs", type=int, default=None)
+    timport.add_argument("--subsample", type=float, default=1.0,
+                         help="seeded keep-fraction in (0, 1]")
+    timport.add_argument("--window", type=float, nargs=2, default=None,
+                         metavar=("START", "END"),
+                         help="seconds window relative to first submit")
+    timport.add_argument("--target-load", type=float, default=None,
+                         help="rescale arrivals to this offered load")
+    timport.add_argument("--max-parallelism", type=int, default=16,
+                         help="clip archive widths to this cap")
+    timport.add_argument("--tc-fraction", type=float, default=0.4,
+                         help="share of jobs synthesized time-critical")
+    timport.add_argument("--accel-fraction", type=float, default=0.25,
+                         help="share of jobs eligible for the accelerator")
+    timport.add_argument("--seed", type=int, default=0,
+                         help="synthesis seed (class/deadline/subsample)")
+    timport.add_argument("--cpu-capacity", type=int, default=24)
+    timport.add_argument("--gpu-capacity", type=int, default=8,
+                         help="0 disables the accelerator platform")
+    timport.set_defaults(func=_cmd_trace_import)
+
+    tstats = tsub.add_parser(
+        "stats", help="summarize an archive or an imported trace")
+    add_archive_args(tstats, need_format_default="json")
+    tstats.set_defaults(func=_cmd_trace_stats)
+
+    tconvert = tsub.add_parser(
+        "convert", help="re-encode an imported trace (.json <-> .json.gz)")
+    tconvert.add_argument("--input", required=True)
+    tconvert.add_argument("--out", required=True)
+    tconvert.set_defaults(func=_cmd_trace_convert)
     return parser
 
 

@@ -7,6 +7,13 @@ under ``benchmarks/`` call these with bench-sized parameters and
 """
 
 from repro.harness.scenario import Scenario, standard_scenario
+from repro.harness.library import (
+    FixedTraceScenario,
+    TraceBackedScenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
 from repro.harness.results import ResultStore, aggregate_rows
 from repro.harness.tables import format_table, rows_to_csv
 from repro.harness.plots import ascii_line_plot
@@ -28,6 +35,8 @@ from repro.harness import experiments
 
 __all__ = [
     "Scenario", "standard_scenario",
+    "TraceBackedScenario", "FixedTraceScenario",
+    "register_scenario", "get_scenario", "list_scenarios",
     "ResultStore", "aggregate_rows",
     "format_table", "rows_to_csv",
     "ascii_line_plot",

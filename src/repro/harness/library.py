@@ -1,0 +1,299 @@
+"""Named scenario library: real-trace-backed scenarios + a registry.
+
+Two :class:`~repro.harness.scenario.Scenario` subclasses make imported
+archive traces first-class experimental settings:
+
+* :class:`TraceBackedScenario` holds the parsed raw records and an
+  :class:`~repro.workload.ingest.normalize.IngestConfig`;
+  ``trace(seed)`` re-runs the seeded normalization, so different trace
+  seeds draw *paired variants* of the same archive (identical arrivals
+  and demands, fresh class/deadline synthesis) exactly as the synthetic
+  generator draws paired traces from one workload config. Its
+  ``workload`` field is the archive's *calibrated* surrogate
+  (:func:`~repro.workload.ingest.calibrate.calibrate_workload`), so the
+  inherited ``train_env`` samples synthetic extrapolations of the trace.
+* :class:`FixedTraceScenario` replays one pinned trace file verbatim
+  (every seed yields the same jobs) — the setting for "run every
+  scheduler on exactly this imported trace".
+
+Both are plain dataclasses over structural, picklable state (records /
+payload dicts — never live :class:`~repro.sim.job.Job` objects, whose
+process-local ``job_id`` would poison the digest), so the persistent
+:class:`~repro.harness.cache.ResultCache` fingerprint and the sharded
+parallel runner work on them **unchanged**: same file + same ingest
+config => same fingerprint, in every process, forever.
+
+The module also keeps the *named scenario registry* the CLI's
+``--scenario`` flag resolves against; :func:`register_scenario` lets
+experiment code add entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.scenario import Scenario, standard_scenario
+from repro.sim.job import Job
+from repro.sim.platform import Platform
+from repro.workload.ingest.calibrate import calibrate_workload
+from repro.workload.ingest.columnar import ColumnarSpec, parse_columnar
+from repro.workload.ingest.normalize import (
+    IngestConfig,
+    measured_load,
+    normalize_records,
+)
+from repro.workload.ingest.records import RawJobRecord
+from repro.workload.ingest.swf import parse_swf
+from repro.workload.traces import jobs_from_payload, load_trace, trace_payload
+
+__all__ = [
+    "TraceBackedScenario",
+    "FixedTraceScenario",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+]
+
+
+def _default_platforms() -> List[Platform]:
+    return [Platform("cpu", 24, 1.0), Platform("gpu", 8, 1.0)]
+
+
+@dataclass
+class TraceBackedScenario(Scenario):
+    """A scenario whose traces are seeded normalizations of one archive.
+
+    Construct via :meth:`from_swf`, :meth:`from_columnar`, or
+    :meth:`from_records`; the constructors parse the archive once,
+    normalize it with ``config.seed`` to calibrate the synthetic
+    surrogate and measure the offered load, and store only structural
+    state (records + config) so the instance pickles cheaply and
+    fingerprints stably.
+    """
+
+    records: Tuple[RawJobRecord, ...] = ()
+    ingest: IngestConfig = field(default_factory=IngestConfig)
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.records:
+            raise ValueError(
+                "TraceBackedScenario needs at least one raw record; "
+                "use from_swf/from_columnar/from_records")
+
+    def trace(self, seed: int) -> List[Job]:
+        """A paired variant of the archive trace for ``seed``.
+
+        Arrivals, demands, and elasticity windows come from the archive
+        (identical across seeds); class membership, platform
+        eligibility, and deadlines are re-synthesized from ``seed``.
+        """
+        return normalize_records(self.records, self.ingest, self.platforms,
+                                 seed=seed)
+
+    # --- constructors --------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[RawJobRecord],
+        ingest: Optional[IngestConfig] = None,
+        platforms: Optional[Sequence[Platform]] = None,
+        source: str = "<records>",
+        core=None,
+        max_ticks: Optional[int] = None,
+        engine: str = "tick",
+    ) -> "TraceBackedScenario":
+        from repro.core.config import CoreConfig
+
+        ingest = ingest if ingest is not None else IngestConfig()
+        platforms = list(platforms) if platforms is not None \
+            else _default_platforms()
+        jobs = normalize_records(records, ingest, platforms)
+        if not jobs:
+            raise ValueError(
+                f"no usable jobs after normalizing {source!r} "
+                f"(records={len(records)}); loosen the ingest config")
+        load = measured_load(jobs, platforms)
+        horizon = max(j.arrival_time for j in jobs) + 1
+        if max_ticks is None:
+            # Leave tail room past the last arrival: longest plausible
+            # run plus slack, bounded below for very short windows.
+            max_ticks = max(4 * horizon, horizon + 200)
+        return cls(
+            platforms=platforms,
+            workload=calibrate_workload(jobs, horizon=horizon),
+            load=load,
+            core=core if core is not None else CoreConfig(),
+            max_ticks=max_ticks,
+            engine=engine,
+            records=tuple(records),
+            ingest=ingest,
+            source=source,
+        )
+
+    @classmethod
+    def from_swf(cls, path: str, ingest: Optional[IngestConfig] = None,
+                 platforms: Optional[Sequence[Platform]] = None,
+                 **kwargs) -> "TraceBackedScenario":
+        """Build from a Standard Workload Format file (plain or ``.gz``)."""
+        _, records = parse_swf(path)
+        return cls.from_records(records, ingest, platforms,
+                                source=str(path), **kwargs)
+
+    @classmethod
+    def from_columnar(cls, path: str, spec: ColumnarSpec,
+                      ingest: Optional[IngestConfig] = None,
+                      platforms: Optional[Sequence[Platform]] = None,
+                      **kwargs) -> "TraceBackedScenario":
+        """Build from a columnar CSV trace file (plain or ``.gz``)."""
+        _, records = parse_columnar(path, spec)
+        return cls.from_records(records, ingest, platforms,
+                                source=str(path), **kwargs)
+
+
+@dataclass
+class FixedTraceScenario(Scenario):
+    """A scenario that replays one pinned trace verbatim for every seed.
+
+    The trace is stored as its canonical static payload
+    (:func:`~repro.workload.traces.trace_payload`), so the fingerprint
+    covers exactly the job definitions — not process-local ids or
+    runtime state — and ``trace(seed)`` rebuilds fresh ``Job`` objects
+    each call (the evaluation driver clones per simulation anyway).
+    """
+
+    payload: Tuple[dict, ...] = ()
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.payload:
+            raise ValueError("FixedTraceScenario needs a non-empty payload; "
+                             "use from_file or from_jobs")
+
+    def trace(self, seed: int) -> List[Job]:  # noqa: ARG002 - pinned trace
+        return jobs_from_payload(list(self.payload))
+
+    @classmethod
+    def from_jobs(cls, jobs: Sequence[Job],
+                  platforms: Optional[Sequence[Platform]] = None,
+                  source: str = "<jobs>", core=None,
+                  max_ticks: Optional[int] = None,
+                  engine: str = "tick") -> "FixedTraceScenario":
+        from repro.core.config import CoreConfig
+
+        if not jobs:
+            raise ValueError(f"trace {source!r} contains no jobs")
+        platforms = list(platforms) if platforms is not None \
+            else _default_platforms()
+        horizon = max(j.arrival_time for j in jobs) + 1
+        if max_ticks is None:
+            max_ticks = max(4 * horizon, horizon + 200)
+        return cls(
+            platforms=platforms,
+            workload=calibrate_workload(jobs, horizon=horizon),
+            load=measured_load(jobs, platforms),
+            core=core if core is not None else CoreConfig(),
+            max_ticks=max_ticks,
+            engine=engine,
+            payload=tuple(trace_payload(jobs)),
+            source=source,
+        )
+
+    @classmethod
+    def from_file(cls, path: str,
+                  platforms: Optional[Sequence[Platform]] = None,
+                  **kwargs) -> "FixedTraceScenario":
+        """Build from a trace saved by :func:`~repro.workload.traces.save_trace`
+        (``.json`` or ``.json.gz``)."""
+        return cls.from_jobs(load_trace(path), platforms,
+                             source=str(path), **kwargs)
+
+
+# --- named scenario registry ---------------------------------------------
+
+_REGISTRY: Dict[str, Tuple[Callable[..., Scenario], str]] = {}
+
+
+def register_scenario(name: str, builder: Callable[..., Scenario],
+                      description: str = "") -> None:
+    """Register ``builder`` under ``name`` for ``get_scenario``.
+
+    ``builder`` is called with the keyword overrides passed to
+    :func:`get_scenario`. Registering an existing name replaces it.
+    """
+    if not name:
+        raise ValueError("scenario name must be non-empty")
+    _REGISTRY[name] = (builder, description)
+
+
+def list_scenarios() -> Dict[str, str]:
+    """Registered scenario names -> one-line descriptions."""
+    return {name: desc for name, (_, desc) in sorted(_REGISTRY.items())}
+
+
+def get_scenario(name: str, **overrides) -> Scenario:
+    """Resolve a scenario by registry name or trace-file path.
+
+    A ``name`` that looks like a saved trace file (``*.json`` /
+    ``*.json.gz``) is loaded as a :class:`FixedTraceScenario` — the CLI
+    route from ``repro.cli trace import --out t.json`` straight into
+    ``sweep --scenario t.json``.
+    """
+    if name in _REGISTRY:
+        builder, _ = _REGISTRY[name]
+        return builder(**overrides)
+    if str(name).endswith((".json", ".json.gz")):
+        return FixedTraceScenario.from_file(name, **overrides)
+    raise KeyError(
+        f"unknown scenario {name!r}; choose from {sorted(_REGISTRY)} "
+        "or pass a saved trace file (*.json / *.json.gz)")
+
+
+# --- built-in entries -----------------------------------------------------
+
+def _standard(**kw) -> Scenario:
+    return standard_scenario(**kw)
+
+
+def _quick(**kw) -> Scenario:
+    from repro.harness.experiments import quick_scenario
+
+    return quick_scenario(**kw)
+
+
+def _swf_fixture(**kw) -> TraceBackedScenario:
+    from repro.workload.ingest import swf_fixture_path
+
+    ingest = kw.pop("ingest", IngestConfig(tick_seconds=120.0,
+                                           target_load=0.75,
+                                           max_parallelism_cap=8))
+    return TraceBackedScenario.from_swf(swf_fixture_path(), ingest=ingest,
+                                        platforms=[Platform("cpu", 16, 1.0),
+                                                   Platform("gpu", 6, 1.0)],
+                                        max_ticks=400, **kw)
+
+
+def _columnar_fixture(**kw) -> TraceBackedScenario:
+    from repro.workload.ingest import columnar_fixture_path
+    from repro.workload.ingest.columnar import ALIBABA_LIKE_SPEC
+
+    ingest = kw.pop("ingest", IngestConfig(tick_seconds=60.0,
+                                           target_load=0.7,
+                                           max_parallelism_cap=8))
+    return TraceBackedScenario.from_columnar(
+        columnar_fixture_path(), ALIBABA_LIKE_SPEC, ingest=ingest,
+        platforms=[Platform("cpu", 16, 1.0), Platform("gpu", 6, 1.0)],
+        max_ticks=400, **kw)
+
+
+register_scenario("standard", _standard,
+                  "canonical synthetic two-platform scenario")
+register_scenario("quick", _quick,
+                  "bench-sized synthetic scenario (16 CPU + 6 GPU)")
+register_scenario("swf-fixture", _swf_fixture,
+                  "bundled SWF archive trace, normalized to load 0.75")
+register_scenario("columnar-fixture", _columnar_fixture,
+                  "bundled columnar CSV trace, normalized to load 0.7")

@@ -21,12 +21,19 @@ from repro.workload.generator import (
     generate_trace,
     offered_load,
 )
-from repro.workload.traces import load_trace, save_trace
+from repro.workload.traces import (
+    jobs_from_payload,
+    load_trace,
+    save_trace,
+    trace_payload,
+)
+from repro.workload import ingest
 
 __all__ = [
     "ArrivalProcess", "PoissonArrivals", "BurstyArrivals",
     "DiurnalArrivals", "DeterministicArrivals",
     "JobClass", "default_job_classes",
     "WorkloadConfig", "generate_trace", "offered_load", "arrival_rate_for_load",
-    "save_trace", "load_trace",
+    "save_trace", "load_trace", "trace_payload", "jobs_from_payload",
+    "ingest",
 ]

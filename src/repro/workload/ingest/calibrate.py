@@ -1,0 +1,101 @@
+"""Calibration: fit a synthetic :class:`WorkloadConfig` to an imported trace.
+
+An archive is finite; the synthetic generator is not. Fitting the
+generator's knobs (class mix, lognormal work parameters, elasticity
+windows, scaling law, affinities, deadline tightness) to a normalized
+trace lets every existing consumer of :class:`WorkloadConfig` — RL
+training environments, load sweeps, the scenario constructors —
+extrapolate *beyond* the archive's length while matching its first-order
+statistics. The trace-backed scenarios use exactly this for their
+``train_env``: evaluation replays the real trace, training samples from
+its calibrated surrogate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.job import Job
+from repro.sim.speedup import AmdahlSpeedup
+from repro.workload.classes import JobClass
+from repro.workload.generator import WorkloadConfig
+
+__all__ = ["calibrate_workload", "fitted_arrival_rate"]
+
+
+def _fit_class(name: str, jobs: Sequence[Job], total: int) -> JobClass:
+    works = np.array([j.work for j in jobs], dtype=float)
+    log_w = np.log(np.maximum(works, 1e-9))
+    mu = float(np.mean(log_w))
+    sigma = float(np.std(log_w))
+    sigma = max(sigma, 0.05)            # degenerate fits still sample
+
+    k_min = min(j.min_parallelism for j in jobs)
+    k_max = max(j.max_parallelism for j in jobs)
+
+    sigmas = [j.speedup_model.sigma for j in jobs
+              if isinstance(j.speedup_model, AmdahlSpeedup)]
+    serial = float(np.median(sigmas)) if sigmas else 0.1
+
+    # Empirical tightness: tau = (deadline - arrival) / ideal duration,
+    # where ideal uses the job's own best platform at max parallelism.
+    taus: List[float] = []
+    for j in jobs:
+        best = max(j.affinity.values()) * j.speedup_model.speedup(
+            j.max_parallelism)
+        ideal = j.work / best
+        if ideal > 0:
+            taus.append((j.deadline - j.arrival_time) / ideal)
+    taus_arr = np.array(taus) if taus else np.array([2.0])
+    t_lo = float(max(1.01, np.quantile(taus_arr, 0.1)))
+    t_hi = float(max(t_lo, np.quantile(taus_arr, 0.9)))
+
+    # Most common affinity signature within the class.
+    signatures: Dict[Tuple[Tuple[str, float], ...], int] = defaultdict(int)
+    for j in jobs:
+        signatures[tuple(sorted(j.affinity.items()))] += 1
+    affinity = dict(max(signatures.items(), key=lambda kv: (kv[1], kv[0]))[0])
+
+    weights = [j.weight for j in jobs]
+    return JobClass(
+        name=name,
+        mix_weight=len(jobs) / total,
+        work_lognorm=(round(mu, 6), round(sigma, 6)),
+        parallelism_range=(k_min, k_max),
+        serial_fraction=round(serial, 6),
+        affinity=affinity,
+        tightness_range=(round(t_lo, 6), round(t_hi, 6)),
+        weight=float(np.median(weights)),
+        rigid=(k_min == k_max),
+    )
+
+
+def calibrate_workload(jobs: Sequence[Job], horizon: int = 0) -> WorkloadConfig:
+    """Fit a :class:`WorkloadConfig` to a normalized trace.
+
+    One fitted :class:`~repro.workload.classes.JobClass` per distinct
+    ``job_class`` label in the trace, with the empirical mix as class
+    weights. ``horizon`` defaults to the trace's arrival span.
+    """
+    if not jobs:
+        raise ValueError("cannot calibrate an empty trace")
+    by_class: Dict[str, List[Job]] = defaultdict(list)
+    for j in jobs:
+        by_class[j.job_class].append(j)
+    classes = [_fit_class(name, members, len(jobs))
+               for name, members in sorted(by_class.items())]
+    if horizon <= 0:
+        horizon = max(j.arrival_time for j in jobs) + 1
+    return WorkloadConfig(classes=classes, horizon=horizon)
+
+
+def fitted_arrival_rate(jobs: Sequence[Job]) -> float:
+    """Mean arrivals per tick over the trace's span (Poisson fit)."""
+    if not jobs:
+        raise ValueError("cannot fit an empty trace")
+    span = max(j.arrival_time for j in jobs) - min(
+        j.arrival_time for j in jobs)
+    return len(jobs) / max(1, span)

@@ -1,0 +1,320 @@
+"""Normalization: raw archive records -> the repo's :class:`Job` model.
+
+The archives record *what happened* (submit time, runtime, processor
+count); the simulator needs *what was demanded* (work units, elasticity
+window, scaling law, platform eligibility, deadline, class). The mapping
+is configured by one frozen :class:`IngestConfig` so that the whole
+pipeline is a pure function
+
+    ``normalize_records(records, config, platforms, seed) -> List[Job]``
+
+— deterministic given its inputs, which is what makes imported traces
+first-class citizens of the result cache: the config (plus the record
+stream) *is* the fingerprint.
+
+Stages, in order:
+
+1. **Filter** — drop unusable records (no runtime / width), optionally
+   restrict to given SWF status codes.
+2. **Window / cap / subsample** — keep a ``[start, end)`` second-window
+   relative to the first submit, at most ``max_jobs`` records, and a
+   seeded ``subsample`` fraction (thinning preserves the arrival
+   pattern's shape).
+3. **Quantize & rescale** — map submit seconds to integer ticks
+   (``tick_seconds`` per tick) and optionally stretch/compress the
+   arrival axis so the measured offered load hits ``target_load``.
+4. **Work & elasticity** — the archive ran the job on ``p`` processors
+   in ``run_time`` seconds; the job's demand in reference unit-ticks is
+   therefore ``duration_ticks * speedup(p)``. ``p`` bounds the
+   elasticity window (``max = p``, ``min = ceil(p * min_frac)``) and
+   selects a fitted Amdahl serial fraction (wider jobs scale better —
+   the standard observation the per-width interpolation encodes).
+5. **Synthesis** — archives carry no deadlines or platform affinities.
+   A seeded draw assigns each job time-critical or best-effort class,
+   platform eligibility (an ``accel_fraction`` of jobs also run —
+   faster — on the accelerator platform), and a slack-drawn deadline
+   ``arrival + tau * ideal_duration`` exactly like the synthetic
+   generator's classes, so imported and generated traces stress the
+   same mechanisms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.job import Job
+from repro.sim.platform import Platform
+from repro.sim.speedup import AmdahlSpeedup
+from repro.workload.ingest.records import RawJobRecord
+
+__all__ = ["IngestConfig", "normalize_records", "measured_load",
+           "TC_CLASS", "BE_CLASS"]
+
+#: Class labels carried into ``Job.job_class`` by deadline synthesis.
+TC_CLASS = "tc-trace"
+BE_CLASS = "be-trace"
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Everything that parameterizes record -> Job normalization.
+
+    The config is frozen and fully structural, so it can be part of a
+    persistent cache fingerprint; ``seed`` drives every stochastic
+    synthesis step (class assignment, affinity draw, deadline
+    tightness). Subsampling and the target-load rescale always draw
+    from ``config.seed`` — not a per-trace override — so the selected
+    record set and time axis are properties of the config.
+    """
+
+    # --- time ----------------------------------------------------------
+    tick_seconds: float = 60.0          # archive seconds per simulator tick
+    window: Optional[Tuple[float, float]] = None   # [start, end) seconds
+    max_jobs: Optional[int] = None
+    subsample: float = 1.0              # keep fraction in (0, 1]
+    target_load: Optional[float] = None  # rescale arrivals to this load
+
+    # --- elasticity / scaling -----------------------------------------
+    max_parallelism_cap: int = 16       # clip archive widths to the model
+    min_parallelism_frac: float = 0.25  # min = ceil(frac * max)
+    sigma_range: Tuple[float, float] = (0.03, 0.30)  # Amdahl fit endpoints
+
+    # --- class / deadline / affinity synthesis ------------------------
+    time_critical_fraction: float = 0.4
+    tc_tightness: Tuple[float, float] = (1.3, 2.5)
+    be_tightness: Tuple[float, float] = (2.5, 5.0)
+    tc_weight: float = 2.0
+    be_weight: float = 1.0
+    accel_fraction: float = 0.25        # share of jobs eligible for accel
+    accel_affinity: float = 4.0         # their speed factor there
+    accel_cpu_penalty: float = 0.5      # accel-friendly jobs' CPU factor
+
+    # --- filtering -----------------------------------------------------
+    include_statuses: Optional[Tuple[int, ...]] = None  # None = keep all
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tick_seconds <= 0:
+            raise ValueError("tick_seconds must be positive")
+        if not 0.0 < self.subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        if self.max_jobs is not None and self.max_jobs <= 0:
+            raise ValueError("max_jobs must be positive")
+        if self.window is not None:
+            lo, hi = self.window
+            if hi <= lo:
+                raise ValueError("window must satisfy start < end")
+        if self.target_load is not None and self.target_load <= 0:
+            raise ValueError("target_load must be positive")
+        if self.max_parallelism_cap < 1:
+            raise ValueError("max_parallelism_cap must be >= 1")
+        if not 0.0 < self.min_parallelism_frac <= 1.0:
+            raise ValueError("min_parallelism_frac must be in (0, 1]")
+        lo, hi = self.sigma_range
+        if not 0.0 <= lo <= hi <= 1.0:
+            raise ValueError("sigma_range must satisfy 0 <= lo <= hi <= 1")
+        if not 0.0 <= self.time_critical_fraction <= 1.0:
+            raise ValueError("time_critical_fraction must be in [0, 1]")
+        for name, rng_ in (("tc_tightness", self.tc_tightness),
+                           ("be_tightness", self.be_tightness)):
+            t_lo, t_hi = rng_
+            if t_lo <= 1.0 or t_hi < t_lo:
+                raise ValueError(f"{name} must satisfy 1 < lo <= hi")
+        if not 0.0 <= self.accel_fraction <= 1.0:
+            raise ValueError("accel_fraction must be in [0, 1]")
+        if self.accel_affinity <= 0 or self.accel_cpu_penalty <= 0:
+            raise ValueError("affinity factors must be positive")
+
+
+def _fitted_sigma(width: int, config: IngestConfig) -> float:
+    """Amdahl serial fraction fitted from the archive's processor count.
+
+    Jobs the archive ran wide demonstrably scale, so they get a small
+    serial fraction; single-processor jobs get the large endpoint. The
+    interpolation is logarithmic in width (doubling the width halves the
+    remaining serial share), deterministic — no RNG.
+    """
+    lo, hi = config.sigma_range
+    cap = max(2, config.max_parallelism_cap)
+    frac = min(1.0, math.log2(max(1, width)) / math.log2(cap))
+    return hi - (hi - lo) * frac
+
+
+def _select(records: Sequence[RawJobRecord],
+            config: IngestConfig) -> List[RawJobRecord]:
+    """Stages 1-2: filter, window, cap, subsample (in that order).
+
+    The subsample draw comes from ``config.seed`` — never the per-trace
+    seed — so the *selected record set* (and with it the arrival axis
+    and the target-load rescale) is a property of the scenario: paired
+    per-seed trace variants always share identical arrivals and demands.
+    """
+    usable = [r for r in records if r.usable()]
+    if config.include_statuses is not None:
+        allowed = set(config.include_statuses)
+        usable = [r for r in usable if r.status in allowed]
+    usable.sort(key=lambda r: (r.submit_time, r.job_id))
+    if not usable:
+        return []
+    t0 = usable[0].submit_time
+    if config.window is not None:
+        lo, hi = config.window
+        usable = [r for r in usable if lo <= r.submit_time - t0 < hi]
+    if config.subsample < 1.0 and usable:
+        thin_rng = np.random.default_rng(config.seed)
+        keep = thin_rng.random(len(usable)) < config.subsample
+        usable = [r for r, k in zip(usable, keep) if k]
+    if config.max_jobs is not None:
+        usable = usable[:config.max_jobs]
+    return usable
+
+
+def measured_load(jobs: Sequence[Job], platforms: Sequence[Platform]) -> float:
+    """Offered load of a concrete job list on ``platforms``.
+
+    Mirrors :func:`repro.workload.generator.offered_load` but measures a
+    realized trace instead of a statistical mix: per-job demand is its
+    work divided by the capacity-weighted mean unit service rate over
+    the platforms it can run on, summed and divided by cluster capacity
+    times the arrival span.
+    """
+    if not jobs:
+        return 0.0
+    capacity = sum(p.capacity for p in platforms)
+    span = max(j.arrival_time for j in jobs) - min(j.arrival_time for j in jobs)
+    span = max(1, span)
+    demand = 0.0
+    for job in jobs:
+        total_cap = 0
+        weighted = 0.0
+        for p in platforms:
+            if p.name in job.affinity:
+                total_cap += p.capacity
+                weighted += job.affinity[p.name] * p.base_speed * p.capacity
+        if total_cap == 0:
+            raise ValueError(
+                f"job {job.job_id} runs on no provided platform "
+                f"(affinity {sorted(job.affinity)})")
+        demand += job.work / (weighted / total_cap)
+    return demand / (capacity * span)
+
+
+def normalize_records(
+    records: Sequence[RawJobRecord],
+    config: IngestConfig,
+    platforms: Sequence[Platform],
+    seed: Optional[int] = None,
+) -> List[Job]:
+    """Map raw archive records into simulator jobs (pure, seeded).
+
+    ``seed`` overrides ``config.seed`` — the trace-backed scenarios use
+    this to draw *paired* trace variants (same arrivals and demands,
+    fresh class/deadline synthesis) from one archive, exactly as the
+    synthetic generator draws paired traces from one workload config.
+
+    ``platforms`` anchors deadline synthesis (best-case durations need
+    base speeds) and, when ``config.target_load`` is set, the load
+    rescaling. The first platform is the primary (CPU-like) pool every
+    job may run on; the second, if present, is the accelerator pool an
+    ``accel_fraction`` of jobs also run on.
+    """
+    if not platforms:
+        raise ValueError("need at least one platform")
+    effective_seed = config.seed if seed is None else seed
+    rng = np.random.default_rng(effective_seed)
+
+    selected = _select(records, config)
+    if not selected:
+        return []
+
+    primary = platforms[0]
+    accel = platforms[1] if len(platforms) > 1 else None
+    base_speeds = {p.name: p.base_speed for p in platforms}
+
+    t0 = selected[0].submit_time
+    arrivals_s = np.array([r.submit_time - t0 for r in selected])
+
+    # Stage 4: work / elasticity / scaling law, before any load math —
+    # the demand numbers are what the load measurement needs.
+    widths = [min(max(1, r.width()), config.max_parallelism_cap)
+              for r in selected]
+    models = [AmdahlSpeedup(round(_fitted_sigma(w, config), 6))
+              for w in widths]
+    duration_ticks = [max(r.run_time / config.tick_seconds, 1e-9)
+                      for r in selected]
+    works = [max(1.0, d * m.speedup(w))
+             for d, m, w in zip(duration_ticks, models, widths)]
+
+    # Stage 5 draws, all from the one seeded stream, one batch per
+    # synthesis aspect so the draw count per job is fixed.
+    def synthesis_draws(draw_rng: np.random.Generator):
+        n = len(selected)
+        is_tc = draw_rng.random(n) < config.time_critical_fraction
+        on_accel = (draw_rng.random(n) < config.accel_fraction) \
+            if accel is not None else np.zeros(n, dtype=bool)
+        tc_tau = draw_rng.uniform(*config.tc_tightness, size=n)
+        be_tau = draw_rng.uniform(*config.be_tightness, size=n)
+        return is_tc, on_accel, tc_tau, be_tau
+
+    is_tc, on_accel, tc_tau, be_tau = synthesis_draws(rng)
+
+    # Stage 3b: arrival quantization, optionally rescaled to target load.
+    def ticks_for(scale: float) -> List[int]:
+        return [int(round(a * scale / config.tick_seconds))
+                for a in arrivals_s]
+
+    scale = 1.0
+    if config.target_load is not None:
+        # The rescale factor is a property of the *scenario* (it sets the
+        # simulated time axis), so the probe always draws its synthesis
+        # from ``config.seed``: paired per-seed trace variants then share
+        # identical arrival ticks, differing only in class/deadline draws.
+        probe_draws = synthesis_draws(np.random.default_rng(config.seed))
+        probe = _build_jobs(selected, ticks_for(1.0), widths, models, works,
+                            *probe_draws,
+                            primary, accel, base_speeds, config)
+        load_now = measured_load(probe, platforms)
+        if load_now > 0:
+            scale = load_now / config.target_load
+    jobs = _build_jobs(selected, ticks_for(scale), widths, models, works,
+                       is_tc, on_accel, tc_tau, be_tau,
+                       primary, accel, base_speeds, config)
+    return jobs
+
+
+def _build_jobs(selected, arrival_ticks, widths, models, works,
+                is_tc, on_accel, tc_tau, be_tau,
+                primary: Platform, accel: Optional[Platform],
+                base_speeds, config: IngestConfig) -> List[Job]:
+    jobs: List[Job] = []
+    for i in range(len(selected)):
+        k_max = widths[i]
+        k_min = max(1, int(math.ceil(k_max * config.min_parallelism_frac)))
+        model = models[i]
+        if accel is not None and on_accel[i]:
+            affinity = {primary.name: config.accel_cpu_penalty,
+                        accel.name: config.accel_affinity}
+        else:
+            affinity = {primary.name: 1.0}
+        best_rate = max(affinity[p] * base_speeds[p] * model.speedup(k_max)
+                        for p in affinity)
+        ideal = works[i] / best_rate
+        tau = float(tc_tau[i] if is_tc[i] else be_tau[i])
+        arrival = max(0, int(arrival_ticks[i]))
+        jobs.append(Job(
+            arrival_time=arrival,
+            work=float(works[i]),
+            deadline=arrival + max(tau * ideal, 1.0 + 1e-6),
+            min_parallelism=k_min,
+            max_parallelism=k_max,
+            speedup_model=model,
+            affinity=affinity,
+            job_class=TC_CLASS if is_tc[i] else BE_CLASS,
+            weight=config.tc_weight if is_tc[i] else config.be_weight,
+        ))
+    jobs.sort(key=lambda j: j.arrival_time)
+    return jobs

@@ -1,0 +1,142 @@
+"""Standard Workload Format (SWF) parser.
+
+SWF is the Parallel Workloads Archive's interchange format: ``;``-prefixed
+header comments followed by one job per line with 18 whitespace-separated
+fields (Feitelson et al.). This parser is
+
+* **streaming** — lines are consumed one at a time, so multi-gigabyte
+  archive logs never need to fit in memory;
+* **gzip-aware** — ``*.gz`` paths are decompressed transparently, which
+  is how the archive distributes its logs;
+* **tolerant** — the archives use ``-1`` as an "unknown" sentinel and
+  some logs carry fewer than 18 fields or stray malformed lines; both
+  are preserved/skipped rather than fatal (skips are counted in
+  :class:`~repro.workload.ingest.records.TraceMeta`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.workload.ingest.records import RawJobRecord, TraceMeta, open_text
+
+__all__ = ["parse_swf", "parse_swf_lines", "read_swf"]
+
+# SWF field indices (0-based), per the format definition.
+_JOB_ID = 0
+_SUBMIT = 1
+_WAIT = 2
+_RUN = 3
+_ALLOC_PROCS = 4
+_REQ_TIME = 8
+_REQ_PROCS = 7
+_STATUS = 10
+_USER = 11
+_GROUP = 12
+_MIN_FIELDS = 5   # need at least job id .. allocated processors
+
+
+def _field_f(fields: List[str], idx: int) -> float:
+    if idx >= len(fields):
+        return -1.0
+    try:
+        return float(fields[idx])
+    except ValueError:
+        return -1.0
+
+
+def _field_i(fields: List[str], idx: int) -> int:
+    value = _field_f(fields, idx)
+    return int(value) if value == value else -1  # NaN-safe
+
+
+def _header_i(head: dict, key: str) -> int:
+    """Header value as int, tolerating annotations ('128 (two parts)')."""
+    raw = head.get(key, "").split()
+    try:
+        return int(float(raw[0])) if raw else -1
+    except ValueError:
+        return -1
+
+
+def _record_from_fields(fields: List[str]) -> Optional[RawJobRecord]:
+    """One data line's fields -> a record, or None if unparsable."""
+    if len(fields) < _MIN_FIELDS:
+        return None
+    try:
+        job_id = int(float(fields[_JOB_ID]))
+    except ValueError:
+        return None
+    return RawJobRecord(
+        job_id=job_id,
+        submit_time=_field_f(fields, _SUBMIT),
+        wait_time=_field_f(fields, _WAIT),
+        run_time=_field_f(fields, _RUN),
+        processors=_field_i(fields, _ALLOC_PROCS),
+        requested_time=_field_f(fields, _REQ_TIME),
+        requested_processors=_field_i(fields, _REQ_PROCS),
+        status=_field_i(fields, _STATUS),
+        user=_field_i(fields, _USER),
+        group=_field_i(fields, _GROUP),
+    )
+
+
+def parse_swf_lines(lines: Iterable[str], source: str = "<lines>"
+                    ) -> Tuple[TraceMeta, List[RawJobRecord]]:
+    """Parse an iterable of SWF lines into (meta, records).
+
+    Header comments (``; Key: Value``) are collected into the meta;
+    malformed data lines are counted as skipped, not raised.
+    """
+    header: List[Tuple[str, str]] = []
+    records: List[RawJobRecord] = []
+    skipped = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(";"):
+            body = line.lstrip(";").strip()
+            if ":" in body:
+                key, _, value = body.partition(":")
+                header.append((key.strip(), value.strip()))
+            continue
+        record = _record_from_fields(line.split())
+        if record is None:
+            skipped += 1
+            continue
+        records.append(record)
+
+    head = dict(header)
+    meta = TraceMeta(
+        source=source,
+        format="swf",
+        max_procs=_header_i(head, "MaxProcs"),
+        unix_start_time=_header_i(head, "UnixStartTime"),
+        n_records=len(records),
+        n_skipped=skipped,
+        header=tuple(header),
+    )
+    return meta, records
+
+
+def parse_swf(path: str) -> Tuple[TraceMeta, List[RawJobRecord]]:
+    """Parse an SWF file (plain or ``.gz``) into (meta, records)."""
+    with open_text(path) as fh:
+        return parse_swf_lines(fh, source=str(path))
+
+
+def read_swf(path: str) -> Iterator[RawJobRecord]:
+    """Stream records from an SWF file without materializing the list.
+
+    Header and malformed lines are skipped; use :func:`parse_swf` when
+    the meta block or the skip count is needed.
+    """
+    with open_text(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith(";"):
+                continue
+            record = _record_from_fields(line.split())
+            if record is not None:
+                yield record

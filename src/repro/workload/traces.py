@@ -1,13 +1,27 @@
-"""Trace persistence (JSON).
+"""Trace persistence (JSON, optionally gzip-compressed).
 
 Traces round-trip exactly (modulo runtime state, which is reset on load),
 so a generated workload can be pinned to disk and replayed under every
 scheduler — the comparison experiments rely on this to give all policies
 identical inputs.
+
+Paths ending in ``.gz`` are transparently gzip-compressed. Compressed
+writes pin the gzip header (``mtime=0``, no embedded filename), so the
+*bytes on disk* — not just the decoded JSON — are a deterministic
+function of the jobs, which lets tests and the ingestion pipeline assert
+byte-identical re-imports.
+
+The intermediate *payload* form (``trace_payload`` /
+``jobs_from_payload``) is the canonical static description of a trace:
+plain JSON-compatible dicts carrying only the fields that define a job
+(no runtime state, no process-local ``job_id``). The trace-backed
+scenarios of :mod:`repro.harness.library` store this form directly so
+their cache fingerprints stay stable across processes.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 from typing import List, Sequence
@@ -15,7 +29,12 @@ from typing import List, Sequence
 from repro.sim.job import Job
 from repro.sim.speedup import AmdahlSpeedup, LinearSpeedup, PowerLawSpeedup, SpeedupModel
 
-__all__ = ["save_trace", "load_trace"]
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "trace_payload",
+    "jobs_from_payload",
+]
 
 
 def _speedup_to_dict(model: SpeedupModel) -> dict:
@@ -28,20 +47,33 @@ def _speedup_to_dict(model: SpeedupModel) -> dict:
     raise TypeError(f"unsupported speedup model {type(model).__name__}")
 
 
-def _speedup_from_dict(d: dict) -> SpeedupModel:
+def _speedup_from_dict(d: dict, where: str) -> SpeedupModel:
+    if not isinstance(d, dict):
+        raise ValueError(f"{where}: field 'speedup' must be an object, "
+                         f"got {type(d).__name__}")
     kind = d.get("kind")
     if kind == "amdahl":
+        if "sigma" not in d:
+            raise ValueError(f"{where}: amdahl speedup missing field 'sigma'")
         return AmdahlSpeedup(float(d["sigma"]))
     if kind == "powerlaw":
+        if "alpha" not in d:
+            raise ValueError(f"{where}: powerlaw speedup missing field 'alpha'")
         return PowerLawSpeedup(float(d["alpha"]))
     if kind == "linear":
         return LinearSpeedup()
-    raise ValueError(f"unknown speedup kind {kind!r}")
+    raise ValueError(f"{where}: unknown speedup kind {kind!r}")
 
 
-def save_trace(jobs: Sequence[Job], path: str) -> None:
-    """Write a job trace to JSON (static fields only)."""
-    payload = [
+def trace_payload(jobs: Sequence[Job]) -> List[dict]:
+    """The canonical static (JSON-compatible) description of a trace.
+
+    Carries exactly the fields that define each job — no runtime state
+    and no process-local ``job_id`` — so two logically identical traces
+    produce identical payloads regardless of when or where the ``Job``
+    objects were constructed.
+    """
+    return [
         {
             "arrival_time": job.arrival_time,
             "work": job.work,
@@ -55,29 +87,93 @@ def save_trace(jobs: Sequence[Job], path: str) -> None:
         }
         for job in jobs
     ]
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=1)
 
 
-def load_trace(path: str) -> List[Job]:
-    """Load a trace saved by :func:`save_trace` (fresh runtime state)."""
-    with open(path, encoding="utf-8") as fh:
-        payload = json.load(fh)
+_REQUIRED_FIELDS = ("arrival_time", "work", "deadline", "min_parallelism",
+                    "max_parallelism", "speedup", "affinity", "job_class")
+
+
+def jobs_from_payload(payload) -> List[Job]:
+    """Reconstruct fresh :class:`~repro.sim.job.Job` objects from a payload.
+
+    Raises :class:`ValueError` naming the offending record and field on
+    malformed input instead of surfacing a bare ``KeyError``.
+    """
+    if not isinstance(payload, list):
+        raise ValueError(
+            f"trace payload must be a JSON array of job records, "
+            f"got {type(payload).__name__}")
     jobs: List[Job] = []
-    for item in payload:
-        jobs.append(
-            Job(
+    for i, item in enumerate(payload):
+        where = f"trace record {i}"
+        if not isinstance(item, dict):
+            raise ValueError(f"{where}: expected an object, "
+                             f"got {type(item).__name__}")
+        for field in _REQUIRED_FIELDS:
+            if field not in item:
+                raise ValueError(f"{where}: missing field {field!r}")
+        if not isinstance(item["affinity"], dict) or not item["affinity"]:
+            raise ValueError(f"{where}: field 'affinity' must be a non-empty "
+                             "object mapping platform -> speed factor")
+        try:
+            job = Job(
                 arrival_time=int(item["arrival_time"]),
                 work=float(item["work"]),
                 deadline=float(item["deadline"]),
                 min_parallelism=int(item["min_parallelism"]),
                 max_parallelism=int(item["max_parallelism"]),
-                speedup_model=_speedup_from_dict(item["speedup"]),
+                speedup_model=_speedup_from_dict(item["speedup"], where),
                 affinity={k: float(v) for k, v in item["affinity"].items()},
                 job_class=str(item["job_class"]),
                 weight=float(item.get("weight", 1.0)),
             )
-        )
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, ValueError) and str(exc).startswith(where):
+                raise
+            raise ValueError(f"{where}: invalid job record ({exc})") from exc
+        jobs.append(job)
     return jobs
+
+
+def _is_gzip(path: str) -> bool:
+    return str(path).endswith(".gz")
+
+
+def save_trace(jobs: Sequence[Job], path: str) -> None:
+    """Write a job trace to JSON (static fields only).
+
+    ``*.gz`` paths are gzip-compressed with a pinned header (``mtime=0``),
+    so the written bytes depend only on the jobs.
+    """
+    payload = trace_payload(jobs)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    text = json.dumps(payload, indent=1)
+    if _is_gzip(path):
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(filename="", mode="wb", fileobj=raw,
+                               mtime=0) as gz:
+                gz.write(text.encode("utf-8"))
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+
+
+def load_trace(path: str) -> List[Job]:
+    """Load a trace saved by :func:`save_trace` (fresh runtime state).
+
+    Accepts both plain ``.json`` and gzip-compressed ``.json.gz`` files;
+    malformed content raises a :class:`ValueError` naming the offending
+    record and field.
+    """
+    if _is_gzip(path):
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            raw = fh.read()
+    else:
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"trace file {path!r} is not valid JSON: {exc}") from exc
+    return jobs_from_payload(payload)

@@ -104,3 +104,124 @@ class TestCommands:
         assert policy.exists()
         assert main(["evaluate", "--policy", str(policy), "--traces", "1"]) == 0
         assert "drl" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    """trace import | stats | convert + the scenario registry surface."""
+
+    def fixture(self):
+        from repro.workload.ingest import swf_fixture_path
+
+        return swf_fixture_path()
+
+    def test_parses_trace_import(self):
+        args = build_parser().parse_args(
+            ["trace", "import", "--format", "swf", "--input", "x.swf",
+             "--out", "t.json.gz", "--target-load", "0.8"])
+        assert args.trace_command == "import"
+        assert args.target_load == 0.8
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_import_swf_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "t.json.gz"
+        code = main(["trace", "import", "--format", "swf",
+                     "--input", self.fixture(), "--out", str(out),
+                     "--tick-seconds", "120", "--target-load", "0.8"])
+        assert code == 0
+        assert "imported" in capsys.readouterr().out
+        from repro.workload.traces import load_trace
+
+        jobs = load_trace(str(out))
+        assert len(jobs) >= 70
+
+    def test_import_deterministic_bytes(self, tmp_path, capsys):
+        outs = [tmp_path / "a.json.gz", tmp_path / "b.json.gz"]
+        for out in outs:
+            assert main(["trace", "import", "--format", "swf",
+                         "--input", self.fixture(), "--out", str(out),
+                         "--seed", "3"]) == 0
+        assert outs[0].read_bytes() == outs[1].read_bytes()
+
+    def test_import_columnar_preset(self, tmp_path, capsys):
+        from repro.workload.ingest import columnar_fixture_path
+
+        out = tmp_path / "col.json"
+        code = main(["trace", "import", "--format", "columnar",
+                     "--spec", "alibaba",
+                     "--input", columnar_fixture_path(), "--out", str(out)])
+        assert code == 0
+        from repro.workload.traces import load_trace
+
+        assert load_trace(str(out))
+
+    def test_stats_on_archive_and_imported_trace(self, tmp_path, capsys):
+        assert main(["trace", "stats", "--format", "swf",
+                     "--input", self.fixture()]) == 0
+        assert "span_seconds" in capsys.readouterr().out
+        out = tmp_path / "t.json"
+        main(["trace", "import", "--format", "swf",
+              "--input", self.fixture(), "--out", str(out)])
+        capsys.readouterr()
+        assert main(["trace", "stats", "--input", str(out)]) == 0
+        assert "horizon_ticks" in capsys.readouterr().out
+
+    def test_convert_recompresses(self, tmp_path, capsys):
+        plain = tmp_path / "t.json"
+        packed = tmp_path / "t.json.gz"
+        main(["trace", "import", "--format", "swf",
+              "--input", self.fixture(), "--out", str(plain)])
+        assert main(["trace", "convert", "--input", str(plain),
+                     "--out", str(packed)]) == 0
+        from repro.workload.traces import load_trace, trace_payload
+
+        assert trace_payload(load_trace(str(packed))) == \
+            trace_payload(load_trace(str(plain)))
+
+    def test_scenarios_lists_registry(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "swf-fixture" in out and "columnar-fixture" in out
+
+    def test_layout_flags_override_preset_spec(self):
+        """--time-unit etc. must apply on top of --spec, not be ignored."""
+        from repro.cli import _columnar_spec
+
+        args = build_parser().parse_args(
+            ["trace", "stats", "--format", "columnar", "--input", "x.csv",
+             "--spec", "google", "--time-unit", "ms", "--delimiter", ";"])
+        spec = _columnar_spec(args)
+        assert spec.time_unit == "ms"
+        assert spec.delimiter == ";"
+        # untouched preset fields survive
+        assert spec.end_time_column == "end_time"
+        args = build_parser().parse_args(
+            ["trace", "stats", "--format", "columnar", "--input", "x.csv",
+             "--spec", "google"])
+        assert _columnar_spec(args).time_unit == "us"
+
+    def test_sweep_accepts_scenario_names(self):
+        args = build_parser().parse_args(
+            ["sweep", "--scenario", "swf-fixture", "columnar-fixture"])
+        assert args.scenario == ["swf-fixture", "columnar-fixture"]
+
+    def test_evaluate_and_train_accept_scenario(self):
+        args = build_parser().parse_args(["evaluate", "--scenario", "quick"])
+        assert args.scenario == "quick"
+        args = build_parser().parse_args(["train", "--scenario", "swf-fixture"])
+        assert args.scenario == "swf-fixture"
+
+    @pytest.mark.slow
+    def test_sweep_over_trace_scenario_warm_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["sweep", "--scenario", "swf-fixture", "--schedulers", "edf",
+                "--traces", "1", "--max-ticks", "150",
+                "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "1 misses" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "1 hits" in warm

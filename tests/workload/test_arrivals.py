@@ -67,3 +67,69 @@ class TestDeterministic:
             DeterministicArrivals(period=0)
         with pytest.raises(ValueError):
             DeterministicArrivals(period=2, offset=-1)
+
+
+class TestPoissonDispersion:
+    def test_index_of_dispersion_near_one(self, rng):
+        """Homogeneous Poisson counts: variance == mean (dispersion ~1),
+        the property separating it from the bursty MMPP."""
+        horizon = 20_000
+        times = np.array(PoissonArrivals(1.5).sample(horizon, rng))
+        counts = np.bincount(times, minlength=horizon)
+        dispersion = counts.var() / counts.mean()
+        assert 0.9 < dispersion < 1.1
+
+    def test_rate_scales_linearly(self):
+        horizon = 10_000
+        lo = len(PoissonArrivals(0.5).sample(horizon, np.random.default_rng(0)))
+        hi = len(PoissonArrivals(2.0).sample(horizon, np.random.default_rng(0)))
+        assert hi / lo == pytest.approx(4.0, rel=0.1)
+
+
+class TestBurstyDeterminism:
+    def test_deterministic_given_seed(self):
+        proc = BurstyArrivals(0.3, 2.7, switch_prob=0.1)
+        a = proc.sample(500, np.random.default_rng(7))
+        b = proc.sample(500, np.random.default_rng(7))
+        assert a == b
+
+    def test_seed_changes_sample(self):
+        proc = BurstyArrivals(0.3, 2.7, switch_prob=0.1)
+        a = proc.sample(500, np.random.default_rng(7))
+        b = proc.sample(500, np.random.default_rng(8))
+        assert a != b
+
+    def test_times_sorted_and_in_range(self, rng):
+        times = BurstyArrivals(0.5, 3.0).sample(300, rng)
+        assert times == sorted(times)
+        assert all(0 <= t < 300 for t in times)
+
+    def test_equal_rates_degenerate_to_poisson_mean(self, rng):
+        proc = BurstyArrivals(1.0, 1.0, switch_prob=0.5)
+        times = proc.sample(10_000, rng)
+        assert proc.mean_rate == 1.0
+        assert len(times) / 10_000 == pytest.approx(1.0, rel=0.05)
+
+
+class TestDeterministicEdgeCases:
+    def test_offset_beyond_horizon_is_empty(self, rng):
+        assert DeterministicArrivals(period=2, offset=50).sample(10, rng) == []
+
+    def test_offset_at_horizon_boundary_is_empty(self, rng):
+        assert DeterministicArrivals(period=3, offset=10).sample(10, rng) == []
+
+    def test_period_longer_than_horizon_single_arrival(self, rng):
+        assert DeterministicArrivals(period=100).sample(10, rng) == [0]
+
+    def test_period_one_fills_every_tick(self, rng):
+        assert DeterministicArrivals(period=1).sample(5, rng) == [0, 1, 2, 3, 4]
+
+    def test_rng_is_ignored(self):
+        proc = DeterministicArrivals(period=4, offset=2)
+        a = proc.sample(20, np.random.default_rng(0))
+        b = proc.sample(20, np.random.default_rng(999))
+        assert a == b == [2, 6, 10, 14, 18]
+
+    def test_horizon_one(self, rng):
+        assert DeterministicArrivals(period=1).sample(1, rng) == [0]
+        assert DeterministicArrivals(period=1, offset=1).sample(1, rng) == []

@@ -1,0 +1,120 @@
+"""Columnar CSV adapter: spec mapping, units, sentinels, gzip, presets."""
+
+import gzip
+
+import pytest
+
+from repro.workload.ingest import (
+    ALIBABA_LIKE_SPEC,
+    ColumnarSpec,
+    columnar_fixture_path,
+    parse_columnar,
+    parse_columnar_lines,
+)
+
+CSV_TEXT = """\
+job_id,submit_time,start_time,end_time,plan_cpu,status
+1,0,10,110,4,1
+2,60,70,130,1,1
+3,120,150,,8,0
+4,-1,200,260,2,1
+"""
+
+
+def spec(**kw) -> ColumnarSpec:
+    base = dict(
+        columns=(("job_id", "job_id"), ("submit_time", "submit_time"),
+                 ("run_time", "start_time"), ("processors", "plan_cpu"),
+                 ("status", "status")),
+        end_time_column="end_time",
+    )
+    base.update(kw)
+    return ColumnarSpec(**base)
+
+
+class TestSpecValidation:
+    def test_requires_submit_and_run(self):
+        with pytest.raises(ValueError, match="submit_time"):
+            ColumnarSpec(columns=(("run_time", "rt"),))
+        with pytest.raises(ValueError, match="run_time"):
+            ColumnarSpec(columns=(("submit_time", "st"),))
+
+    def test_rejects_bad_time_unit(self):
+        with pytest.raises(ValueError, match="time_unit"):
+            spec(time_unit="h")
+
+    def test_rejects_empty_delimiter(self):
+        with pytest.raises(ValueError, match="delimiter"):
+            spec(delimiter="")
+
+
+class TestParsing:
+    def test_basic_mapping(self):
+        meta, records = parse_columnar_lines(CSV_TEXT.splitlines(), spec())
+        # row 4 has sentinel submit -> skipped
+        assert len(records) == 3 and meta.n_skipped == 1
+        assert records[0].job_id == 1
+        assert records[0].submit_time == 0.0
+        assert records[0].run_time == 100.0     # end - start
+        assert records[0].processors == 4
+
+    def test_sentinel_end_time_gives_unknown_runtime(self):
+        _, records = parse_columnar_lines(CSV_TEXT.splitlines(), spec())
+        assert records[2].run_time == -1.0
+        assert not records[2].usable()
+
+    def test_time_unit_scaling(self):
+        lines = ["job_id,submit_time,start_time,end_time,plan_cpu,status",
+                 "1,1000,2000,4000,2,1"]
+        _, records = parse_columnar_lines(lines, spec(time_unit="ms"))
+        assert records[0].submit_time == 1.0
+        assert records[0].run_time == 2.0
+
+    def test_headerless_index_mapping(self):
+        lines = ["5;0;10;110;4;1"]
+        s = ColumnarSpec(
+            columns=(("job_id", "0"), ("submit_time", "1"),
+                     ("run_time", "2"), ("processors", "4")),
+            delimiter=";", has_header=False, end_time_column="3")
+        _, records = parse_columnar_lines(lines, s)
+        assert records[0].job_id == 5
+        assert records[0].run_time == 100.0
+
+    def test_missing_column_named_in_error(self):
+        lines = ["a,b", "1,2"]
+        with pytest.raises(ValueError, match="not in CSV header"):
+            parse_columnar_lines(lines, spec())
+
+    def test_direct_runtime_column(self):
+        lines = ["submit_time,run_time", "0,300", "60,120"]
+        s = ColumnarSpec(columns=(("submit_time", "submit_time"),
+                                  ("run_time", "run_time")))
+        _, records = parse_columnar_lines(lines, s)
+        assert [r.run_time for r in records] == [300.0, 120.0]
+        # no job_id column -> sequential ids
+        assert [r.job_id for r in records] == [1, 2]
+
+    def test_empty_file(self):
+        meta, records = parse_columnar_lines([], spec())
+        assert records == []
+
+
+class TestFixture:
+    def test_gzipped_fixture_parses_with_preset(self):
+        meta, records = parse_columnar(columnar_fixture_path(),
+                                       ALIBABA_LIKE_SPEC)
+        assert meta.format == "columnar"
+        assert meta.n_records == 60
+        usable = [r for r in records if r.usable()]
+        # every 17th row has a sentinel end time
+        assert 50 <= len(usable) < 60
+
+    def test_gzip_roundtrip_matches_plain(self, tmp_path):
+        plain = tmp_path / "t.csv"
+        compressed = tmp_path / "t.csv.gz"
+        plain.write_text(CSV_TEXT)
+        with gzip.open(compressed, "wt") as fh:
+            fh.write(CSV_TEXT)
+        _, a = parse_columnar(str(plain), spec())
+        _, b = parse_columnar(str(compressed), spec())
+        assert a == b

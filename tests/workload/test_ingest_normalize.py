@@ -1,0 +1,249 @@
+"""Normalization + calibration: determinism, windowing, synthesis, fitting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sim.platform import Platform
+from repro.sim.speedup import AmdahlSpeedup
+from repro.workload.generator import generate_trace
+from repro.workload.ingest import (
+    BE_CLASS,
+    TC_CLASS,
+    IngestConfig,
+    RawJobRecord,
+    calibrate_workload,
+    fitted_arrival_rate,
+    measured_load,
+    normalize_records,
+    parse_swf,
+    swf_fixture_path,
+)
+from repro.workload.traces import trace_payload
+
+
+def rec(job_id, submit, run=600.0, procs=4, status=1, **kw):
+    return RawJobRecord(job_id=job_id, submit_time=submit, run_time=run,
+                        processors=procs, status=status, **kw)
+
+
+RECORDS = [rec(i, i * 120.0, run=300.0 + 60 * (i % 5), procs=1 << (i % 5))
+           for i in range(40)]
+
+
+@pytest.fixture
+def platforms():
+    return [Platform("cpu", 16, 1.0), Platform("gpu", 6, 1.0)]
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"tick_seconds": 0.0},
+        {"subsample": 0.0},
+        {"subsample": 1.5},
+        {"max_jobs": 0},
+        {"window": (100.0, 50.0)},
+        {"target_load": 0.0},
+        {"max_parallelism_cap": 0},
+        {"min_parallelism_frac": 0.0},
+        {"sigma_range": (0.5, 0.1)},
+        {"time_critical_fraction": 1.5},
+        {"tc_tightness": (0.9, 2.0)},
+        {"accel_fraction": -0.1},
+        {"accel_affinity": 0.0},
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            IngestConfig(**kwargs)
+
+    def test_needs_platforms(self):
+        with pytest.raises(ValueError, match="platform"):
+            normalize_records(RECORDS, IngestConfig(), [])
+
+
+class TestDeterminism:
+    def test_same_seed_same_payload(self, platforms):
+        cfg = IngestConfig(tick_seconds=60.0, target_load=0.7)
+        a = normalize_records(RECORDS, cfg, platforms, seed=5)
+        b = normalize_records(RECORDS, cfg, platforms, seed=5)
+        assert json.dumps(trace_payload(a)) == json.dumps(trace_payload(b))
+
+    def test_fixture_import_byte_identical(self, platforms, tmp_path):
+        """Acceptance: same file + same config + same seed => identical bytes."""
+        from repro.workload.traces import save_trace
+
+        _, records = parse_swf(swf_fixture_path())
+        cfg = IngestConfig(tick_seconds=120.0, target_load=0.8, seed=3)
+        paths = []
+        for name in ("a.json.gz", "b.json.gz"):
+            jobs = normalize_records(records, cfg, platforms)
+            path = tmp_path / name
+            save_trace(jobs, str(path))
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_seed_varies_synthesis_not_arrivals(self, platforms):
+        cfg = IngestConfig(tick_seconds=60.0, target_load=0.7)
+        a = normalize_records(RECORDS, cfg, platforms, seed=1)
+        b = normalize_records(RECORDS, cfg, platforms, seed=2)
+        assert [j.arrival_time for j in a] == [j.arrival_time for j in b]
+        assert [j.work for j in a] == [j.work for j in b]
+        assert [j.deadline for j in a] != [j.deadline for j in b]
+
+    def test_seed_defaults_to_config_seed(self, platforms):
+        cfg = IngestConfig(seed=9)
+        a = normalize_records(RECORDS, cfg, platforms)
+        b = normalize_records(RECORDS, cfg, platforms, seed=9)
+        assert trace_payload(a) == trace_payload(b)
+
+
+class TestSelection:
+    def test_unusable_records_dropped(self, platforms):
+        records = RECORDS + [rec(99, 100.0, run=-1.0),
+                             rec(98, 100.0, procs=-1)]
+        jobs = normalize_records(records, IngestConfig(), platforms)
+        assert len(jobs) == len(RECORDS)
+
+    def test_status_filter(self, platforms):
+        records = [rec(1, 0.0, status=1), rec(2, 60.0, status=0),
+                   rec(3, 120.0, status=5)]
+        jobs = normalize_records(
+            records, IngestConfig(include_statuses=(1,)), platforms)
+        assert len(jobs) == 1
+
+    def test_window_is_relative_to_first_submit(self, platforms):
+        cfg = IngestConfig(window=(0.0, 120.0 * 10))
+        jobs = normalize_records(RECORDS, cfg, platforms)
+        assert len(jobs) == 10
+
+    def test_max_jobs_cap(self, platforms):
+        jobs = normalize_records(RECORDS, IngestConfig(max_jobs=7), platforms)
+        assert len(jobs) == 7
+
+    def test_subsample_thins_seeded(self, platforms):
+        cfg = IngestConfig(subsample=0.5, seed=0)
+        jobs = normalize_records(RECORDS, cfg, platforms)
+        assert 0 < len(jobs) < len(RECORDS)
+        again = normalize_records(RECORDS, cfg, platforms)
+        assert len(again) == len(jobs)
+
+    def test_subsample_selection_is_config_property(self, platforms):
+        """The thinned record set must not vary with the per-trace seed:
+        paired variants share arrivals/demands even under subsampling."""
+        cfg = IngestConfig(subsample=0.5, seed=0, target_load=0.7)
+        a = normalize_records(RECORDS, cfg, platforms, seed=1)
+        b = normalize_records(RECORDS, cfg, platforms, seed=2)
+        assert [j.arrival_time for j in a] == [j.arrival_time for j in b]
+        assert [j.work for j in a] == [j.work for j in b]
+        # different config seed -> different selection
+        c = normalize_records(RECORDS, IngestConfig(subsample=0.5, seed=1),
+                              platforms)
+        assert [j.work for j in c] != [j.work for j in a]
+
+    def test_empty_result_is_empty_list(self, platforms):
+        assert normalize_records([], IngestConfig(), platforms) == []
+
+
+class TestMapping:
+    def test_arrivals_quantized_and_sorted(self, platforms):
+        jobs = normalize_records(RECORDS, IngestConfig(tick_seconds=120.0),
+                                 platforms)
+        arrivals = [j.arrival_time for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] == 0
+        assert arrivals[1] == 1          # 120 s at 120 s/tick
+
+    def test_width_bounds_elasticity(self, platforms):
+        cfg = IngestConfig(max_parallelism_cap=8, min_parallelism_frac=0.25)
+        jobs = normalize_records(RECORDS, cfg, platforms)
+        for j in jobs:
+            assert 1 <= j.min_parallelism <= j.max_parallelism <= 8
+            assert j.min_parallelism >= int(np.ceil(j.max_parallelism * 0.25))
+
+    def test_wider_jobs_fit_smaller_serial_fraction(self, platforms):
+        jobs = normalize_records(RECORDS, IngestConfig(), platforms)
+        by_width = {}
+        for j in jobs:
+            assert isinstance(j.speedup_model, AmdahlSpeedup)
+            by_width[j.max_parallelism] = j.speedup_model.sigma
+        widths = sorted(by_width)
+        sigmas = [by_width[w] for w in widths]
+        assert sigmas == sorted(sigmas, reverse=True)
+
+    def test_work_reflects_observed_speedup(self, platforms):
+        # one job, 600 s on 4 procs at 60 s/tick: 10 ticks * speedup(4)
+        jobs = normalize_records([rec(1, 0.0, run=600.0, procs=4)],
+                                 IngestConfig(tick_seconds=60.0), platforms)
+        j = jobs[0]
+        expected = 10.0 * j.speedup_model.speedup(4)
+        assert j.work == pytest.approx(expected)
+
+    def test_deadline_after_arrival_and_classes_weighted(self, platforms):
+        jobs = normalize_records(RECORDS, IngestConfig(), platforms)
+        for j in jobs:
+            assert j.deadline > j.arrival_time
+            assert j.job_class in (TC_CLASS, BE_CLASS)
+            assert j.weight == (2.0 if j.job_class == TC_CLASS else 1.0)
+
+    def test_accel_fraction_zero_keeps_cpu_only(self, platforms):
+        cfg = IngestConfig(accel_fraction=0.0)
+        jobs = normalize_records(RECORDS, cfg, platforms)
+        assert all(set(j.affinity) == {"cpu"} for j in jobs)
+
+    def test_single_platform_cluster(self):
+        jobs = normalize_records(RECORDS, IngestConfig(accel_fraction=0.9),
+                                 [Platform("cpu", 8, 1.0)])
+        assert all(set(j.affinity) == {"cpu"} for j in jobs)
+
+
+class TestLoadRescaling:
+    def test_target_load_hit(self, platforms):
+        for target in (0.4, 0.9):
+            cfg = IngestConfig(tick_seconds=60.0, target_load=target)
+            jobs = normalize_records(RECORDS, cfg, platforms)
+            assert measured_load(jobs, platforms) == pytest.approx(
+                target, rel=0.15)
+
+    def test_measured_load_rejects_orphan_jobs(self, platforms):
+        from tests.conftest import make_job
+
+        orphan = make_job(affinity={"tpu": 1.0})
+        with pytest.raises(ValueError, match="no provided platform"):
+            measured_load([orphan], platforms)
+
+    def test_measured_load_empty(self, platforms):
+        assert measured_load([], platforms) == 0.0
+
+
+class TestCalibration:
+    def test_calibrated_config_matches_trace_stats(self, platforms):
+        jobs = normalize_records(RECORDS, IngestConfig(), platforms)
+        wl = calibrate_workload(jobs)
+        names = {c.name for c in wl.classes}
+        assert names <= {TC_CLASS, BE_CLASS}
+        assert sum(c.mix_weight for c in wl.classes) == pytest.approx(1.0)
+        assert wl.horizon == max(j.arrival_time for j in jobs) + 1
+        for c in wl.classes:
+            lo, hi = c.tightness_range
+            assert 1.0 < lo <= hi
+
+    def test_calibrated_config_generates_traces(self, platforms):
+        jobs = normalize_records(RECORDS, IngestConfig(), platforms)
+        wl = calibrate_workload(jobs)
+        synth = generate_trace(wl, platforms, np.random.default_rng(0),
+                               load=0.7)
+        assert synth, "calibrated surrogate must sample jobs"
+        assert {j.job_class for j in synth} <= {c.name for c in wl.classes}
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            calibrate_workload([])
+        with pytest.raises(ValueError, match="empty"):
+            fitted_arrival_rate([])
+
+    def test_fitted_arrival_rate(self, platforms):
+        jobs = normalize_records(RECORDS, IngestConfig(tick_seconds=120.0),
+                                 platforms)
+        rate = fitted_arrival_rate(jobs)
+        assert rate == pytest.approx(len(jobs) / 39, rel=0.1)

@@ -1,0 +1,110 @@
+"""SWF parser: header meta, field mapping, sentinels, gzip, tolerance."""
+
+import gzip
+
+import pytest
+
+from repro.workload.ingest import parse_swf, parse_swf_lines, read_swf, swf_fixture_path
+
+SWF_TEXT = """\
+; Version: 2.2
+; MaxProcs: 128
+; UnixStartTime: 1000000000
+; Note: tiny inline trace
+1 0 5 100 4 -1 -1 4 200 -1 1 7 2 -1 1 1 -1 -1
+2 30 -1 60 1 -1 -1 1 -1 -1 1 3 1 -1 1 1 -1 -1
+3 90 2 450 16 -1 -1 16 600 -1 0 7 2 -1 1 1 -1 -1
+"""
+
+
+class TestParseLines:
+    def test_records_and_fields(self):
+        meta, records = parse_swf_lines(SWF_TEXT.splitlines())
+        assert len(records) == 3
+        first = records[0]
+        assert first.job_id == 1
+        assert first.submit_time == 0.0
+        assert first.wait_time == 5.0
+        assert first.run_time == 100.0
+        assert first.processors == 4
+        assert first.requested_time == 200.0
+        assert first.status == 1
+        assert first.user == 7 and first.group == 2
+
+    def test_header_meta(self):
+        meta, _ = parse_swf_lines(SWF_TEXT.splitlines())
+        assert meta.format == "swf"
+        assert meta.max_procs == 128
+        assert meta.unix_start_time == 1000000000
+        assert ("Note", "tiny inline trace") in meta.header
+        assert meta.n_records == 3 and meta.n_skipped == 0
+
+    def test_sentinels_preserved(self):
+        _, records = parse_swf_lines(SWF_TEXT.splitlines())
+        assert records[1].wait_time == -1.0
+        assert records[1].requested_time == -1.0
+
+    def test_malformed_lines_skipped_not_fatal(self):
+        lines = SWF_TEXT.splitlines() + ["not a record", "1 2"]
+        meta, records = parse_swf_lines(lines)
+        assert len(records) == 3
+        assert meta.n_skipped == 2
+
+    def test_short_but_parsable_line_tolerated(self):
+        # exactly the minimum 5 fields: id submit wait run procs
+        meta, records = parse_swf_lines(["7 10 1 50 2"])
+        assert records[0].processors == 2
+        assert records[0].requested_time == -1.0
+
+    def test_empty_input(self):
+        meta, records = parse_swf_lines([])
+        assert records == [] and meta.n_records == 0
+
+    def test_annotated_header_values_tolerated(self):
+        """Archive headers often annotate values ('; MaxProcs: 128 (two
+        partitions)'); parsing must not crash on them."""
+        lines = ["; MaxProcs: 128 (two partitions)",
+                 "; UnixStartTime: unknown",
+                 "1 0 5 100 4"]
+        meta, records = parse_swf_lines(lines)
+        assert meta.max_procs == 128
+        assert meta.unix_start_time == -1
+        assert len(records) == 1
+
+
+class TestParseFiles:
+    def test_plain_file(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text(SWF_TEXT)
+        meta, records = parse_swf(str(path))
+        assert meta.source == str(path)
+        assert len(records) == 3
+
+    def test_gzip_file(self, tmp_path):
+        path = tmp_path / "t.swf.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write(SWF_TEXT)
+        _, records = parse_swf(str(path))
+        assert len(records) == 3
+        assert records[2].run_time == 450.0
+
+    def test_streaming_matches_batch(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text(SWF_TEXT)
+        _, batch = parse_swf(str(path))
+        assert list(read_swf(str(path))) == batch
+
+
+class TestBundledFixture:
+    def test_fixture_parses(self):
+        meta, records = parse_swf(swf_fixture_path())
+        assert meta.max_procs == 64
+        assert meta.n_records >= 80
+        # the fixture deliberately contains one malformed line
+        assert meta.n_skipped >= 1
+
+    def test_fixture_has_usable_majority(self):
+        _, records = parse_swf(swf_fixture_path())
+        usable = [r for r in records if r.usable()]
+        assert len(usable) >= 70
+        assert all(r.run_time > 0 and r.width() > 0 for r in usable)

@@ -10,6 +10,7 @@ from repro.workload import (
     generate_trace,
     load_trace,
     save_trace,
+    trace_payload,
 )
 from tests.conftest import make_job
 
@@ -61,3 +62,99 @@ def test_empty_trace_roundtrip(tmp_path):
     path = str(tmp_path / "empty.json")
     save_trace([], path)
     assert load_trace(path) == []
+
+
+class TestGzip:
+    """``.json.gz`` traces round-trip with deterministic bytes."""
+
+    def test_gzip_roundtrip(self, platforms, rng, tmp_path):
+        cfg = WorkloadConfig(classes=default_job_classes(), horizon=30)
+        jobs = generate_trace(cfg, platforms, rng, load=0.7)
+        path = str(tmp_path / "trace.json.gz")
+        save_trace(jobs, path)
+        loaded = load_trace(path)
+        assert trace_payload(loaded) == trace_payload(jobs)
+
+    def test_gzip_and_plain_decode_identically(self, tmp_path):
+        jobs = [make_job(work=7.5), make_job(arrival=3, work=2.0)]
+        plain = str(tmp_path / "t.json")
+        packed = str(tmp_path / "t.json.gz")
+        save_trace(jobs, plain)
+        save_trace(jobs, packed)
+        assert trace_payload(load_trace(plain)) == \
+            trace_payload(load_trace(packed))
+
+    def test_gzip_bytes_deterministic(self, tmp_path):
+        """The compressed header is pinned (mtime=0): same jobs => same bytes."""
+        jobs = [make_job(work=4.0)]
+        a, b = tmp_path / "a.json.gz", tmp_path / "b.json.gz"
+        save_trace(jobs, str(a))
+        import time
+        time.sleep(0.05)                 # would change a default gzip mtime
+        save_trace(jobs, str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestMalformedTraces:
+    """Malformed JSON raises ValueError naming the offending field."""
+
+    def write(self, tmp_path, payload) -> str:
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_not_a_list(self, tmp_path):
+        with pytest.raises(ValueError, match="JSON array"):
+            load_trace(self.write(tmp_path, {"jobs": []}))
+
+    def test_non_object_record(self, tmp_path):
+        with pytest.raises(ValueError, match="trace record 0"):
+            load_trace(self.write(tmp_path, [42]))
+
+    @pytest.mark.parametrize("field", ["arrival_time", "work", "deadline",
+                                       "min_parallelism", "max_parallelism",
+                                       "speedup", "affinity", "job_class"])
+    def test_missing_field_named(self, tmp_path, field):
+        record = trace_payload([make_job()])[0]
+        del record[field]
+        with pytest.raises(ValueError, match=f"missing field '{field}'"):
+            load_trace(self.write(tmp_path, [record]))
+
+    def test_record_index_in_error(self, tmp_path):
+        good = trace_payload([make_job()])[0]
+        bad = dict(good)
+        del bad["work"]
+        with pytest.raises(ValueError, match="trace record 1"):
+            load_trace(self.write(tmp_path, [good, bad]))
+
+    def test_unknown_speedup_kind(self, tmp_path):
+        record = trace_payload([make_job()])[0]
+        record["speedup"] = {"kind": "quantum"}
+        with pytest.raises(ValueError, match="unknown speedup kind"):
+            load_trace(self.write(tmp_path, [record]))
+
+    def test_amdahl_missing_sigma(self, tmp_path):
+        record = trace_payload([make_job()])[0]
+        record["speedup"] = {"kind": "amdahl"}
+        with pytest.raises(ValueError, match="missing field 'sigma'"):
+            load_trace(self.write(tmp_path, [record]))
+
+    def test_empty_affinity_rejected(self, tmp_path):
+        record = trace_payload([make_job()])[0]
+        record["affinity"] = {}
+        with pytest.raises(ValueError, match="affinity"):
+            load_trace(self.write(tmp_path, [record]))
+
+    def test_invalid_values_wrapped_with_context(self, tmp_path):
+        record = trace_payload([make_job()])[0]
+        record["work"] = -3.0
+        with pytest.raises(ValueError, match="trace record 0"):
+            load_trace(self.write(tmp_path, [record]))
+
+    def test_invalid_json_named(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_trace(str(path))
