@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli evaluate --policy policy.npz --load 0.7 --traces 4
     python -m repro.cli trace import --format swf --input log.swf.gz \
         --out trace.json.gz --target-load 0.8
+    python -m repro.cli trace import --stream --format swf \
+        --input huge.swf.gz --out trace.jsonl.gz --target-load 0.8
     python -m repro.cli trace stats --input trace.json.gz
     python -m repro.cli scenarios
 
@@ -81,6 +83,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   "--workers ignored", file=sys.stderr)
         else:
             kwargs["workers"] = args.workers
+    if args.scenario:
+        if "scenario" not in params:
+            print(f"{args.experiment} does not accept --scenario",
+                  file=sys.stderr)
+            return 2
+        kwargs["scenario"] = args.scenario
     out = fn(**kwargs)
     print(out.text)
     print(f"\n[{out.name}] elapsed: {out.elapsed_s:.1f}s")
@@ -127,7 +135,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     cache = None
     if not args.no_cache:
-        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+        max_bytes = None
+        if args.cache_max_mb is not None:
+            max_bytes = int(args.cache_max_mb * 1024 * 1024)
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR,
+                            max_bytes=max_bytes)
     rows = sweep_schedulers(
         scenarios, schedulers, n_traces=args.traces,
         base_seed=args.base_seed, max_ticks=args.max_ticks,
@@ -135,8 +147,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     print(format_table(rows, title=f"sweep ({args.workers} workers)"))
     if cache is not None:
+        evicted = f", {cache.stats['evictions']} evicted" \
+            if cache.stats["evictions"] else ""
         print(f"cache: {cache.stats['hits']} hits, "
-              f"{cache.stats['misses']} misses -> {cache.root}")
+              f"{cache.stats['misses']} misses{evicted} -> {cache.root}")
     if args.out:
         from repro.harness.results import ResultStore
 
@@ -283,36 +297,108 @@ def _platforms_for_import(args: argparse.Namespace):
     return platforms
 
 
-def _cmd_trace_import(args: argparse.Namespace) -> int:
-    from repro.workload.ingest import measured_load, normalize_records
-    from repro.workload.traces import save_trace
+def _clamp_note(stats) -> str:
+    """One-line clamp/skip summary of an :class:`IngestStats`."""
+    return (f"  selection: {stats.n_selected} kept of {stats.n_records} "
+            f"({stats.n_unusable} unusable, "
+            f"{stats.n_status_filtered} status-filtered, "
+            f"{stats.n_windowed_out} outside window, "
+            f"{stats.n_subsampled_out} subsampled out, "
+            f"{stats.n_over_cap} over cap); "
+            f"clamped: {stats.n_clamped_duration} durations, "
+            f"{stats.n_clamped_work} works")
 
-    meta, records = _parse_archive(args)
+
+def _cmd_trace_import(args: argparse.Namespace) -> int:
+    from repro.workload.ingest import (
+        IngestStats,
+        measured_load,
+        normalize_records,
+        stream_normalize_columnar,
+        stream_normalize_swf,
+    )
+    from repro.workload.traces import save_trace, save_trace_shards
+
     platforms = _platforms_for_import(args)
     config = _ingest_config(args)
-    jobs = normalize_records(records, config, platforms)
+    stats = IngestStats()
+
+    def write(jobs) -> int:
+        """Persist ``jobs`` (list or stream) to ``--out``; returns count."""
+        if args.shard_jobs:
+            manifest = save_trace_shards(jobs, args.out,
+                                         jobs_per_shard=args.shard_jobs)
+            return manifest["n_jobs"]
+        return save_trace(jobs, args.out)
+
+    if args.stream:
+        # Two-pass streaming normalization: records are never
+        # materialized, so archive-scale logs import in bounded memory.
+        # Output is byte-identical to the materialized path.
+        if not args.shard_jobs and args.out.endswith((".json", ".json.gz")):
+            print("note: --out *.json holds one JSON array, so the payload "
+                  "is materialized; use *.jsonl[.gz] or --shard-jobs for "
+                  "bounded memory", file=sys.stderr)
+        if args.format == "swf":
+            jobs_iter = stream_normalize_swf(args.input, config, platforms,
+                                             stats=stats)
+        else:
+            jobs_iter = stream_normalize_columnar(
+                args.input, _columnar_spec(args), config, platforms,
+                stats=stats)
+        n_jobs = write(jobs_iter)
+        if not n_jobs:
+            # The container was created before the stream turned out
+            # empty; remove exactly what this run wrote — the manifest
+            # (an empty import emits no shards) or the output file —
+            # never pre-existing files the user keeps in --out.
+            import os
+
+            from repro.workload.traces import MANIFEST_NAME
+
+            try:
+                if os.path.isdir(args.out):
+                    os.unlink(os.path.join(args.out, MANIFEST_NAME))
+                    os.rmdir(args.out)   # only if nothing else is in it
+                else:
+                    os.unlink(args.out)
+            except OSError:
+                pass
+            print(f"no usable jobs in {args.input!r} after filtering "
+                  f"({stats.n_records} records scanned)", file=sys.stderr)
+            return 2
+        print(f"imported {n_jobs} jobs from {args.input} "
+              f"(streamed, {config.tick_seconds:g}s/tick)")
+        print(_clamp_note(stats))
+        print(f"trace -> {args.out}")
+        return 0
+
+    meta, records = _parse_archive(args)
+    jobs = normalize_records(records, config, platforms, stats=stats)
     if not jobs:
         print(f"no usable jobs in {args.input!r} after filtering "
               f"({meta.n_records} records parsed, {meta.n_skipped} skipped)",
               file=sys.stderr)
         return 2
-    save_trace(jobs, args.out)
+    n_jobs = write(jobs)
     load = measured_load(jobs, platforms)
     horizon = max(j.arrival_time for j in jobs) + 1
     n_tc = sum(1 for j in jobs if j.job_class.startswith("tc"))
-    print(f"imported {len(jobs)} jobs from {args.input} ({meta.format}; "
+    print(f"imported {n_jobs} jobs from {args.input} ({meta.format}; "
           f"{meta.n_skipped} lines skipped)")
     print(f"  horizon: {horizon} ticks ({config.tick_seconds:g}s/tick), "
           f"offered load: {load:.3f}, "
           f"classes: {n_tc} time-critical / {len(jobs) - n_tc} best-effort")
+    print(_clamp_note(stats))
     print(f"trace -> {args.out}")
     return 0
 
 
 def _cmd_trace_stats(args: argparse.Namespace) -> int:
     from repro.harness.tables import format_table
+    from repro.workload.traces import looks_like_trace_path
 
-    if args.format == "json" or args.input.endswith((".json", ".json.gz")):
+    if args.format == "json" or looks_like_trace_path(args.input):
         from collections import Counter
 
         from repro.workload.traces import load_trace
@@ -335,23 +421,38 @@ def _cmd_trace_stats(args: argparse.Namespace) -> int:
         print(format_table(rows, title=f"trace {args.input}"))
         return 0
 
-    from repro.workload.ingest import record_stats
+    from repro.workload.ingest import IngestConfig, count_clamps, record_stats
 
     meta, records = _parse_archive(args)
     stats = record_stats(records)
+    # Previously-silent drops and floors, surfaced: how many records a
+    # normalization at --tick-seconds would skip or clamp.
+    n_dur, n_work = count_clamps(
+        records, IngestConfig(tick_seconds=args.tick_seconds))
+    stats["clamped_duration"] = n_dur
+    stats["clamped_work"] = n_work
     rows = [{k: (round(v, 2) if isinstance(v, float) else v)
              for k, v in stats.items()}]
     print(format_table(rows, title=f"{meta.format} archive {args.input} "
-                                   f"({meta.n_skipped} lines skipped)"))
+                                   f"({meta.n_skipped} lines skipped, "
+                                   f"{meta.n_unusable} unusable; clamps at "
+                                   f"{args.tick_seconds:g}s/tick)"))
     return 0
 
 
 def _cmd_trace_convert(args: argparse.Namespace) -> int:
-    from repro.workload.traces import load_trace, save_trace
+    from repro.workload.traces import iter_trace, save_trace, save_trace_shards
 
-    jobs = load_trace(args.input)
-    save_trace(jobs, args.out)
-    print(f"converted {len(jobs)} jobs: {args.input} -> {args.out}")
+    # Stream job-by-job: converting between containers (.json <-> .jsonl
+    # <-> shards) never materializes the trace, so archive-scale traces
+    # re-encode in bounded memory (except into .json, which is one array).
+    jobs = iter_trace(args.input)
+    if args.shard_jobs:
+        n = save_trace_shards(jobs, args.out,
+                              jobs_per_shard=args.shard_jobs)["n_jobs"]
+    else:
+        n = save_trace(jobs, args.out)
+    print(f"converted {n} jobs: {args.input} -> {args.out}")
     return 0
 
 
@@ -384,6 +485,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None)
     run.add_argument("--workers", type=int, default=1,
                      help="process-pool shards for evaluation traces")
+    run.add_argument("--scenario", default=None,
+                     help="run on a named scenario (or imported trace "
+                          "container) for experiments that accept one "
+                          "(e.g. e02_main_table, e03_load_sweep)")
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser(
@@ -406,6 +511,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="recompute every cell (skip the result cache)")
     sweep.add_argument("--cache-dir", default=None,
                        help="result-cache directory (default .repro-cache)")
+    sweep.add_argument("--cache-max-mb", type=float, default=None,
+                       help="cap the cache directory at this size; "
+                            "least-recently-used entries are evicted")
     sweep.add_argument("--out", help="save rows as JSON (ResultStore format)")
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -472,10 +580,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="columns are 0-based indices, not header names")
 
     timport = tsub.add_parser(
-        "import", help="normalize an archive into the repo's trace JSON")
+        "import", help="normalize an archive into a repo trace container")
     add_archive_args(timport)
     timport.add_argument("--out", required=True,
-                         help="output trace (*.json or *.json.gz)")
+                         help="output trace (*.json[.gz], *.jsonl[.gz], or "
+                              "a shard directory with --shard-jobs)")
+    timport.add_argument("--stream", action="store_true",
+                         help="two-pass streaming normalization: archive-"
+                              "scale logs import in bounded memory, output "
+                              "byte-identical to the materialized path "
+                              "(requires submit-time-sorted archives)")
+    timport.add_argument("--shard-jobs", type=int, default=None,
+                         help="write --out as a sharded JSONL directory "
+                              "with this many jobs per shard")
     timport.add_argument("--tick-seconds", type=float, default=60.0,
                          help="archive seconds per simulator tick")
     timport.add_argument("--max-jobs", type=int, default=None)
@@ -502,12 +619,19 @@ def build_parser() -> argparse.ArgumentParser:
     tstats = tsub.add_parser(
         "stats", help="summarize an archive or an imported trace")
     add_archive_args(tstats, need_format_default="json")
+    tstats.add_argument("--tick-seconds", type=float, default=60.0,
+                        help="tick size used to report how many records a "
+                             "normalization would clamp (archive formats)")
     tstats.set_defaults(func=_cmd_trace_stats)
 
     tconvert = tsub.add_parser(
-        "convert", help="re-encode an imported trace (.json <-> .json.gz)")
+        "convert", help="re-encode a trace between containers "
+                        "(.json[.gz] <-> .jsonl[.gz] <-> shard directory)")
     tconvert.add_argument("--input", required=True)
     tconvert.add_argument("--out", required=True)
+    tconvert.add_argument("--shard-jobs", type=int, default=None,
+                          help="write --out as a sharded JSONL directory "
+                               "with this many jobs per shard")
     tconvert.set_defaults(func=_cmd_trace_convert)
     return parser
 

@@ -150,12 +150,29 @@ class ResultCache:
     or corrupt entries as misses, writes are atomic renames. Hit/miss
     counters are kept per instance (``stats``) so callers can verify
     warm-cache behavior.
+
+    ``max_bytes`` caps the cache's on-disk size: ``put`` evicts the
+    least-recently-used entries (file mtime; refreshed on every ``get``
+    hit) whenever a cheap running size estimate crosses the cap — so a
+    long-lived cache directory no longer grows without bound as
+    scenario fingerprints churn, without a full directory scan per
+    write. Eviction is also available directly via :meth:`prune`.
     """
 
-    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR) -> None:
+    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR,
+                 max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
         self.root = Path(root)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        # Running size estimate so capped puts don't stat the whole
+        # directory each time; only drifts upward (overwrites double-
+        # count), so it can trigger a spurious prune but never miss one.
+        # prune() resets it to the exact post-eviction total.
+        self._approx_bytes: Optional[int] = None
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -171,10 +188,18 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(path)          # refresh recency for LRU eviction
+        except OSError:
+            pass                    # entry may have raced away; still a hit
         return report
 
     def put(self, key: str, report: MetricsReport) -> None:
-        """Persist ``report`` under ``key`` (atomic, last-writer-wins)."""
+        """Persist ``report`` under ``key`` (atomic, last-writer-wins).
+
+        When ``max_bytes`` is set, least-recently-used entries are
+        evicted afterwards until the cache fits.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"report": dataclasses.asdict(report)}
@@ -189,6 +214,65 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = self.size_bytes()
+            else:
+                try:
+                    self._approx_bytes += path.stat().st_size
+                except OSError:
+                    pass
+            if self._approx_bytes > self.max_bytes:
+                self.prune(self.max_bytes)
+
+    def prune(self, max_bytes: Optional[int] = None) -> int:
+        """Evict least-recently-used entries until the cache fits.
+
+        ``max_bytes`` defaults to the instance cap. Entries are ranked
+        by file mtime (``get`` refreshes it, so recency is use, not
+        write); ties break on path for determinism. Concurrent deletes
+        are tolerated. Returns the number of entries evicted.
+        """
+        if max_bytes is None:
+            max_bytes = self.max_bytes
+        if max_bytes is None:
+            raise ValueError("prune needs max_bytes (argument or instance cap)")
+        entries = []
+        total = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, str(path), st.st_size, path))
+            total += st.st_size
+        if total <= max_bytes:
+            self._approx_bytes = total
+            return 0
+        entries.sort(key=lambda e: (e[0], e[1]))
+        removed = 0
+        for _, _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue            # another process won the race
+            total -= size
+            removed += 1
+        self.evictions += removed
+        self._approx_bytes = total
+        return removed
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of all entries."""
+        total = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     def clear(self) -> int:
         """Delete every entry; returns the number of entries removed."""
@@ -206,4 +290,5 @@ class ResultCache:
 
     @property
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses}
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}

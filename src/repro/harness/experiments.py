@@ -159,6 +159,21 @@ def train_drl(
     return result.scheduler
 
 
+def _resolve_scenario_arg(scenario) -> Scenario:
+    """A ``scenario`` experiment argument -> a concrete :class:`Scenario`.
+
+    Accepts a ready-made instance or a name/path for the registry of
+    :mod:`repro.harness.library` (``swf-fixture``, an imported trace
+    container path, …) — the hook that runs the e-series experiments on
+    real-trace scenarios.
+    """
+    if isinstance(scenario, Scenario):
+        return scenario
+    from repro.harness.library import get_scenario
+
+    return get_scenario(str(scenario))
+
+
 def _mean_metrics(reports: Sequence[MetricsReport]) -> Dict[str, float]:
     return {
         "miss_rate": float(np.mean([r.miss_rate for r in reports])),
@@ -226,10 +241,18 @@ def e02_main_table(
     seed: int = 0,
     include_drl: bool = True,
     workers: int = 1,
+    scenario=None,
 ) -> ExperimentOutput:
-    """Deadline miss rate / slowdown: DRL vs the full heuristic roster."""
+    """Deadline miss rate / slowdown: DRL vs the full heuristic roster.
+
+    ``scenario`` (a registry name, trace-container path, or
+    :class:`Scenario`) runs the comparison on a real-trace scenario
+    instead of the synthetic quick scenario at ``load``.
+    """
     t0 = time.time()
-    scenario = quick_scenario(load=load)
+    named = scenario is not None
+    scenario = _resolve_scenario_arg(scenario) if named \
+        else quick_scenario(load=load)
     traces = scenario.traces(n_traces)
     rows: List[Row] = []
     schedulers: Dict[str, object] = dict(baseline_roster())
@@ -241,7 +264,9 @@ def e02_main_table(
                                      workers=workers)
         rows.append({"scheduler": name, **_mean_metrics(reports)})
     rows.sort(key=lambda r: r["miss_rate"])
-    text = format_table(rows, title=f"E2: main comparison (load={load})")
+    what = getattr(scenario, "source", "") or f"load={load}" if named \
+        else f"load={load}"
+    text = format_table(rows, title=f"E2: main comparison ({what})")
     return ExperimentOutput("e02_main_table", rows, {}, text, time.time() - t0)
 
 
@@ -254,9 +279,34 @@ def e03_load_sweep(
     schedulers: Optional[Dict[str, object]] = None,
     drl: Optional[DRLScheduler] = None,
     workers: int = 1,
+    scenario=None,
 ) -> ExperimentOutput:
-    """Sweep offered load; every scheduler rises, ranking should persist."""
+    """Sweep offered load; every scheduler rises, ranking should persist.
+
+    ``scenario`` selects the scenario to sweep (registry name, path, or
+    instance): trace-backed scenarios re-normalize their archive to
+    each swept load via ``with_target_load`` — the real-trace version
+    of the paper's load axis — and synthetic scenarios re-dial via
+    ``with_load``. Pinned-trace scenarios replay the same jobs at every
+    seed, so a load sweep would relabel identical runs; they are
+    rejected.
+    """
     t0 = time.time()
+    dial = None
+    if scenario is not None:
+        base = _resolve_scenario_arg(scenario)
+        if hasattr(base, "with_target_load"):
+            dial = base.with_target_load
+        else:
+            from repro.harness.library import FixedTraceScenario
+
+            if isinstance(base, FixedTraceScenario):
+                raise ValueError(
+                    f"scenario {base.source!r} cannot sweep load: its "
+                    "pinned trace replays verbatim at every load (no "
+                    "with_target_load); use a trace-backed (archive) or "
+                    "synthetic scenario")
+            dial = base.with_load
     if schedulers is None:
         schedulers = {
             "edf": EDFScheduler(),
@@ -269,7 +319,8 @@ def e03_load_sweep(
     rows: List[Row] = []
     series: Dict[str, List[float]] = {name: [] for name in schedulers}
     for load in loads:
-        scenario = quick_scenario(load=load)
+        scenario = dial(load) if dial is not None \
+            else quick_scenario(load=load)
         traces = scenario.traces(n_traces)
         for name, sched in schedulers.items():
             reports = evaluate_scheduler(sched, scenario.platforms, traces,

@@ -60,6 +60,14 @@ def _default_platforms() -> List[Platform]:
     return [Platform("cpu", 24, 1.0), Platform("gpu", 8, 1.0)]
 
 
+def _spec_without_source(scenario) -> dict:
+    """A scenario's dataclass fields minus provenance (``source``)."""
+    import dataclasses
+
+    return {f.name: getattr(scenario, f.name)
+            for f in dataclasses.fields(scenario) if f.name != "source"}
+
+
 @dataclass
 class TraceBackedScenario(Scenario):
     """A scenario whose traces are seeded normalizations of one archive.
@@ -83,6 +91,16 @@ class TraceBackedScenario(Scenario):
                 "TraceBackedScenario needs at least one raw record; "
                 "use from_swf/from_columnar/from_records")
 
+    def cache_spec(self) -> dict:
+        """Canonical parameterization for the persistent result cache.
+
+        Everything that determines an evaluation result — but not
+        ``source``, which is provenance: the same records and config
+        parsed from differently-named (or differently-containered)
+        copies of an archive must share a cache key.
+        """
+        return _spec_without_source(self)
+
     def trace(self, seed: int) -> List[Job]:
         """A paired variant of the archive trace for ``seed``.
 
@@ -92,6 +110,24 @@ class TraceBackedScenario(Scenario):
         """
         return normalize_records(self.records, self.ingest, self.platforms,
                                  seed=seed)
+
+    def with_target_load(self, load: float) -> "TraceBackedScenario":
+        """The same archive re-normalized to a different offered load.
+
+        Re-runs the seeded normalization with ``target_load`` replaced —
+        the real-trace analogue of :meth:`Scenario.with_load`, and what
+        lets the load-sweep experiments dial a trace-backed scenario
+        through the paper's load axis. ``max_ticks`` is recomputed for
+        the rescaled arrival axis (lowering the load stretches it), so
+        every swept point simulates the whole trace rather than
+        silently truncating at the original horizon.
+        """
+        from dataclasses import replace as dc_replace
+
+        return type(self).from_records(
+            self.records, dc_replace(self.ingest, target_load=load),
+            self.platforms, source=self.source, core=self.core,
+            max_ticks=None, engine=self.engine)
 
     # --- constructors --------------------------------------------------
     @classmethod
@@ -173,6 +209,16 @@ class FixedTraceScenario(Scenario):
             raise ValueError("FixedTraceScenario needs a non-empty payload; "
                              "use from_file or from_jobs")
 
+    def cache_spec(self) -> dict:
+        """Canonical parameterization for the persistent result cache.
+
+        The payload — not the file path it came from — defines the
+        evaluation, so the same trace yields the same cache key whether
+        it was imported streamed or materialized, and whichever
+        container format (``.json``, ``.jsonl.gz``, shards) holds it.
+        """
+        return _spec_without_source(self)
+
     def trace(self, seed: int) -> List[Job]:  # noqa: ARG002 - pinned trace
         return jobs_from_payload(list(self.payload))
 
@@ -206,8 +252,8 @@ class FixedTraceScenario(Scenario):
     def from_file(cls, path: str,
                   platforms: Optional[Sequence[Platform]] = None,
                   **kwargs) -> "FixedTraceScenario":
-        """Build from a trace saved by :func:`~repro.workload.traces.save_trace`
-        (``.json`` or ``.json.gz``)."""
+        """Build from any saved trace container
+        (``.json[.gz]``, ``.jsonl[.gz]``, or a shard directory)."""
         return cls.from_jobs(load_trace(path), platforms,
                              source=str(path), **kwargs)
 
@@ -235,21 +281,28 @@ def list_scenarios() -> Dict[str, str]:
 
 
 def get_scenario(name: str, **overrides) -> Scenario:
-    """Resolve a scenario by registry name or trace-file path.
+    """Resolve a scenario by registry name or trace-container path.
 
-    A ``name`` that looks like a saved trace file (``*.json`` /
-    ``*.json.gz``) is loaded as a :class:`FixedTraceScenario` — the CLI
-    route from ``repro.cli trace import --out t.json`` straight into
-    ``sweep --scenario t.json``.
+    A ``name`` that looks like a saved trace container (``*.json[.gz]``,
+    ``*.jsonl[.gz]``, or a shard directory with a ``MANIFEST.json``) is
+    loaded as a :class:`FixedTraceScenario` — the CLI route from
+    ``repro.cli trace import --out t.jsonl.gz`` straight into
+    ``sweep --scenario t.jsonl.gz``. The fingerprint covers the decoded
+    job payload, so the same trace yields the same cache key no matter
+    which container format (or import path — streamed or materialized)
+    produced it.
     """
+    from repro.workload.traces import looks_like_trace_path
+
     if name in _REGISTRY:
         builder, _ = _REGISTRY[name]
         return builder(**overrides)
-    if str(name).endswith((".json", ".json.gz")):
+    if looks_like_trace_path(str(name)):
         return FixedTraceScenario.from_file(name, **overrides)
     raise KeyError(
         f"unknown scenario {name!r}; choose from {sorted(_REGISTRY)} "
-        "or pass a saved trace file (*.json / *.json.gz)")
+        "or pass a saved trace container (*.json[.gz], *.jsonl[.gz], "
+        "or a shard directory)")
 
 
 # --- built-in entries -----------------------------------------------------

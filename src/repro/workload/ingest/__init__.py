@@ -30,23 +30,33 @@ from repro.workload.ingest.columnar import (
     ColumnarSpec,
     parse_columnar,
     parse_columnar_lines,
+    read_columnar,
 )
 from repro.workload.ingest.normalize import (
     BE_CLASS,
     TC_CLASS,
     IngestConfig,
+    IngestStats,
+    count_clamps,
     measured_load,
     normalize_records,
 )
 from repro.workload.ingest.records import RawJobRecord, TraceMeta, record_stats
+from repro.workload.ingest.stream import (
+    stream_normalize,
+    stream_normalize_columnar,
+    stream_normalize_swf,
+)
 from repro.workload.ingest.swf import parse_swf, parse_swf_lines, read_swf
 
 __all__ = [
     "RawJobRecord", "TraceMeta", "record_stats",
     "parse_swf", "parse_swf_lines", "read_swf",
-    "ColumnarSpec", "parse_columnar", "parse_columnar_lines",
+    "ColumnarSpec", "parse_columnar", "parse_columnar_lines", "read_columnar",
     "GOOGLE_LIKE_SPEC", "ALIBABA_LIKE_SPEC",
-    "IngestConfig", "normalize_records", "measured_load",
+    "IngestConfig", "IngestStats", "normalize_records", "measured_load",
+    "count_clamps",
+    "stream_normalize", "stream_normalize_swf", "stream_normalize_columnar",
     "TC_CLASS", "BE_CLASS",
     "calibrate_workload", "fitted_arrival_rate",
     "swf_fixture_path", "columnar_fixture_path",

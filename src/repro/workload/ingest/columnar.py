@@ -12,12 +12,12 @@ from __future__ import annotations
 
 import csv
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.workload.ingest.records import RawJobRecord, TraceMeta, open_text
 
 __all__ = ["ColumnarSpec", "parse_columnar", "parse_columnar_lines",
-           "GOOGLE_LIKE_SPEC", "ALIBABA_LIKE_SPEC"]
+           "read_columnar", "GOOGLE_LIKE_SPEC", "ALIBABA_LIKE_SPEC"]
 
 _TIME_SCALE = {"s": 1.0, "ms": 1e-3, "us": 1e-6}
 
@@ -103,40 +103,43 @@ def _parse_value(raw: Optional[str], spec: ColumnarSpec) -> float:
         return -1.0
 
 
-def parse_columnar_lines(lines, spec: ColumnarSpec, source: str = "<lines>"
-                         ) -> Tuple[TraceMeta, List[RawJobRecord]]:
-    """Parse CSV ``lines`` according to ``spec`` into (meta, records)."""
-    reader = csv.reader(lines, delimiter=spec.delimiter)
-    mapping = spec.mapping()
-    scale = _TIME_SCALE[spec.time_unit]
-    records: List[RawJobRecord] = []
-    skipped = 0
-    col_index: Optional[Dict[str, int]] = None
+def _resolve_columns(reader, spec: ColumnarSpec) -> Optional[Dict[str, int]]:
+    """Field -> column-index map, consuming the header row when present.
 
-    if spec.has_header:
-        try:
-            header_row = next(reader)
-        except StopIteration:
-            return TraceMeta(source=source, format="columnar"), []
-        positions = {name.strip(): i for i, name in enumerate(header_row)}
-        col_index = {}
-        for fld, col in mapping.items():
-            if col not in positions:
-                raise ValueError(
-                    f"column {col!r} (for field {fld!r}) not in CSV header "
-                    f"{sorted(positions)}")
-            col_index[fld] = positions[col]
-        if spec.end_time_column is not None:
-            if spec.end_time_column not in positions:
-                raise ValueError(
-                    f"end_time_column {spec.end_time_column!r} not in CSV "
-                    f"header {sorted(positions)}")
-            col_index["__end__"] = positions[spec.end_time_column]
-    else:
+    Returns ``None`` for a header-bearing stream with no rows at all.
+    """
+    mapping = spec.mapping()
+    if not spec.has_header:
         col_index = {fld: int(col) for fld, col in mapping.items()}
         if spec.end_time_column is not None:
             col_index["__end__"] = int(spec.end_time_column)
+        return col_index
+    try:
+        header_row = next(reader)
+    except StopIteration:
+        return None
+    positions = {name.strip(): i for i, name in enumerate(header_row)}
+    col_index = {}
+    for fld, col in mapping.items():
+        if col not in positions:
+            raise ValueError(
+                f"column {col!r} (for field {fld!r}) not in CSV header "
+                f"{sorted(positions)}")
+        col_index[fld] = positions[col]
+    if spec.end_time_column is not None:
+        if spec.end_time_column not in positions:
+            raise ValueError(
+                f"end_time_column {spec.end_time_column!r} not in CSV "
+                f"header {sorted(positions)}")
+        col_index["__end__"] = positions[spec.end_time_column]
+    return col_index
 
+
+def _iter_rows(reader, col_index: Dict[str, int], spec: ColumnarSpec,
+               skip_counter: Optional[List[int]] = None
+               ) -> Iterator[RawJobRecord]:
+    """Stream records out of CSV ``reader`` rows (shared by both paths)."""
+    scale = _TIME_SCALE[spec.time_unit]
     auto_id = 0
     for row in reader:
         if not row or all(not cell.strip() for cell in row):
@@ -151,7 +154,8 @@ def parse_columnar_lines(lines, spec: ColumnarSpec, source: str = "<lines>"
         submit = get("submit_time")
         start = get("run_time")
         if submit < 0:
-            skipped += 1
+            if skip_counter is not None:
+                skip_counter[0] += 1
             continue
         if spec.end_time_column is not None:
             end = get("__end__")
@@ -160,7 +164,7 @@ def parse_columnar_lines(lines, spec: ColumnarSpec, source: str = "<lines>"
             run = start
         auto_id += 1
         job_id = get("job_id")
-        records.append(RawJobRecord(
+        yield RawJobRecord(
             job_id=int(job_id) if job_id >= 0 else auto_id,
             submit_time=submit * scale,
             wait_time=get("wait_time") * scale if get("wait_time") >= 0 else -1.0,
@@ -173,10 +177,21 @@ def parse_columnar_lines(lines, spec: ColumnarSpec, source: str = "<lines>"
                                   else -1),
             status=int(s) if (s := get("status")) >= 0 else -1,
             user=int(u) if (u := get("user")) >= 0 else -1,
-        ))
+        )
 
+
+def parse_columnar_lines(lines, spec: ColumnarSpec, source: str = "<lines>"
+                         ) -> Tuple[TraceMeta, List[RawJobRecord]]:
+    """Parse CSV ``lines`` according to ``spec`` into (meta, records)."""
+    reader = csv.reader(lines, delimiter=spec.delimiter)
+    col_index = _resolve_columns(reader, spec)
+    if col_index is None:
+        return TraceMeta(source=source, format="columnar"), []
+    skip_counter = [0]
+    records = list(_iter_rows(reader, col_index, spec, skip_counter))
     meta = TraceMeta(source=source, format="columnar",
-                     n_records=len(records), n_skipped=skipped)
+                     n_records=len(records), n_skipped=skip_counter[0],
+                     n_unusable=sum(1 for r in records if not r.usable()))
     return meta, records
 
 
@@ -186,3 +201,19 @@ def parse_columnar(path: str, spec: ColumnarSpec
     with open_text(path) as fh:
         meta, records = parse_columnar_lines(fh, spec, source=str(path))
     return meta, records
+
+
+def read_columnar(path: str, spec: ColumnarSpec) -> Iterator[RawJobRecord]:
+    """Stream records from a columnar CSV file without materializing.
+
+    The streaming sibling of :func:`parse_columnar` (mirrors
+    :func:`repro.workload.ingest.swf.read_swf`): unparsable rows are
+    skipped; use :func:`parse_columnar` when the meta block or skip
+    count is needed.
+    """
+    with open_text(path) as fh:
+        reader = csv.reader(fh, delimiter=spec.delimiter)
+        col_index = _resolve_columns(reader, spec)
+        if col_index is None:
+            return
+        yield from _iter_rows(reader, col_index, spec)

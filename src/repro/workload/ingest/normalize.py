@@ -12,37 +12,52 @@ pipeline is a pure function
 first-class citizens of the result cache: the config (plus the record
 stream) *is* the fingerprint.
 
-Stages, in order:
+Stages, in order (this order is part of the config contract — see
+:class:`IngestConfig`):
 
 1. **Filter** — drop unusable records (no runtime / width), optionally
    restrict to given SWF status codes.
-2. **Window / cap / subsample** — keep a ``[start, end)`` second-window
-   relative to the first submit, at most ``max_jobs`` records, and a
-   seeded ``subsample`` fraction (thinning preserves the arrival
-   pattern's shape).
-3. **Quantize & rescale** — map submit seconds to integer ticks
+2. **Order** — sort by ``(submit_time, job_id)`` with the remaining
+   record fields as tie-breakers, so duplicate archive rows that share a
+   submit second and a job id still normalize in one deterministic
+   order regardless of how the archive file happened to order them.
+3. **Window / subsample / cap** — keep a ``[start, end)`` second-window
+   relative to the first submit, then a seeded ``subsample`` fraction
+   (thinning preserves the arrival pattern's shape), then at most
+   ``max_jobs`` of the surviving records.
+4. **Quantize & rescale** — map submit seconds to integer ticks
    (``tick_seconds`` per tick) and optionally stretch/compress the
    arrival axis so the measured offered load hits ``target_load``.
-4. **Work & elasticity** — the archive ran the job on ``p`` processors
+5. **Work & elasticity** — the archive ran the job on ``p`` processors
    in ``run_time`` seconds; the job's demand in reference unit-ticks is
    therefore ``duration_ticks * speedup(p)``. ``p`` bounds the
    elasticity window (``max = p``, ``min = ceil(p * min_frac)``) and
    selects a fitted Amdahl serial fraction (wider jobs scale better —
    the standard observation the per-width interpolation encodes).
-5. **Synthesis** — archives carry no deadlines or platform affinities.
+6. **Synthesis** — archives carry no deadlines or platform affinities.
    A seeded draw assigns each job time-critical or best-effort class,
    platform eligibility (an ``accel_fraction`` of jobs also run —
    faster — on the accelerator platform), and a slack-drawn deadline
    ``arrival + tau * ideal_duration`` exactly like the synthetic
    generator's classes, so imported and generated traces stress the
    same mechanisms.
+
+Every stochastic draw (subsample keep/drop, class membership, platform
+eligibility, deadline tightness) is **counter-based**: record index
+``i``'s uniforms come from a Philox stream keyed on
+``(seed, stream-tag, i // block)`` and read at offset ``i % block``, so
+a draw is a pure function of ``(seed, index)`` — independent of how
+many records are processed together. That is what lets the two-pass
+streaming normalizer (:mod:`repro.workload.ingest.stream`) reproduce
+this module's output **byte-identically** while holding only one chunk
+of records in memory.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,12 +66,26 @@ from repro.sim.platform import Platform
 from repro.sim.speedup import AmdahlSpeedup
 from repro.workload.ingest.records import RawJobRecord
 
-__all__ = ["IngestConfig", "normalize_records", "measured_load",
-           "TC_CLASS", "BE_CLASS"]
+__all__ = ["IngestConfig", "IngestStats", "normalize_records",
+           "measured_load", "count_clamps", "TC_CLASS", "BE_CLASS"]
 
 #: Class labels carried into ``Job.job_class`` by deadline synthesis.
 TC_CLASS = "tc-trace"
 BE_CLASS = "be-trace"
+
+#: Floors applied in stage 5 (counted in :class:`IngestStats`, never silent).
+DURATION_FLOOR_TICKS = 1e-9
+WORK_FLOOR = 1.0
+
+# Counter-based uniform streams: draws for item index ``i`` live in block
+# ``i // _UNIFORM_BLOCK`` of a Philox generator keyed on
+# ``(seed, stream-tag, block)``, so the value at an index never depends
+# on batch boundaries — the property the streaming path relies on.
+_UNIFORM_BLOCK = 2048
+_SUBSAMPLE_STREAM = 1
+_SYNTHESIS_STREAM = 2
+_SYNTH_DRAWS = 4          # is_tc, on_accel, tc_tightness, be_tightness
+_SEED_MASK = (1 << 64) - 1
 
 
 @dataclass(frozen=True)
@@ -69,6 +98,16 @@ class IngestConfig:
     tightness). Subsampling and the target-load rescale always draw
     from ``config.seed`` — not a per-trace override — so the selected
     record set and time axis are properties of the config.
+
+    **Stage order contract.** Selection applies, in this order:
+    usability/status *filter*, deterministic *ordering* (submit time,
+    job id, then the remaining fields as tie-breakers), the second
+    *window* relative to the first usable submit, the seeded
+    *subsample* thinning, and finally the *max_jobs* cap. ``max_jobs``
+    therefore caps the records that *survived* windowing and
+    subsampling — it is a hard output-size bound, not a pre-thinning
+    prefix — and ``window`` membership is decided before any record is
+    thinned away.
     """
 
     # --- time ----------------------------------------------------------
@@ -130,6 +169,100 @@ class IngestConfig:
             raise ValueError("affinity factors must be positive")
 
 
+@dataclass
+class IngestStats:
+    """What selection and clamping did to one record stream.
+
+    Filled by :func:`normalize_records` (and, identically, by the
+    streaming path) when passed as the ``stats`` argument — the
+    previously silent drops and floors, made countable. ``n_records``
+    counts every record offered to selection; the ``n_*_out`` fields
+    partition the drops by stage; ``n_clamped_*`` count *selected*
+    records whose duration or work hit the normalization floors
+    (:data:`DURATION_FLOOR_TICKS`, :data:`WORK_FLOOR`).
+    """
+
+    n_records: int = 0
+    n_unusable: int = 0
+    n_status_filtered: int = 0
+    n_windowed_out: int = 0
+    n_subsampled_out: int = 0
+    n_over_cap: int = 0
+    n_selected: int = 0
+    n_clamped_duration: int = 0
+    n_clamped_work: int = 0
+
+    def as_dict(self) -> dict:
+        import dataclasses
+
+        return dataclasses.asdict(self)
+
+
+# --- counter-based uniform draws -----------------------------------------
+
+def _uniform_block(seed: int, stream: int, block: int,
+                   width: int) -> np.ndarray:
+    """One ``(_UNIFORM_BLOCK, width)`` block of the counter-based stream."""
+    ss = np.random.SeedSequence((int(seed) & _SEED_MASK, stream, block))
+    gen = np.random.Generator(np.random.Philox(ss))
+    return gen.random((_UNIFORM_BLOCK, width))
+
+
+def _indexed_uniforms(seed: int, stream: int, start: int, n: int,
+                      width: int) -> np.ndarray:
+    """Uniform draws for item indices ``[start, start + n)``.
+
+    Row ``j`` depends only on ``(seed, stream, start + j)``, never on
+    ``start`` or ``n`` themselves — materialized (one call for the whole
+    trace) and streamed (one call per chunk) paths read identical
+    numbers.
+    """
+    out = np.empty((n, width))
+    pos = 0
+    block = start // _UNIFORM_BLOCK
+    while pos < n:
+        values = _uniform_block(seed, stream, block, width)
+        lo = (start + pos) - block * _UNIFORM_BLOCK
+        take = min(_UNIFORM_BLOCK - lo, n - pos)
+        out[pos:pos + take] = values[lo:lo + take]
+        pos += take
+        block += 1
+    return out
+
+
+def _synthesis_arrays(seed: int, start: int, n: int, config: IngestConfig,
+                      has_accel: bool):
+    """Stage-6 draws for selected indices ``[start, start + n)``."""
+    u = _indexed_uniforms(seed, _SYNTHESIS_STREAM, start, n, _SYNTH_DRAWS)
+    is_tc = u[:, 0] < config.time_critical_fraction
+    on_accel = (u[:, 1] < config.accel_fraction) if has_accel \
+        else np.zeros(n, dtype=bool)
+    tc_lo, tc_hi = config.tc_tightness
+    be_lo, be_hi = config.be_tightness
+    tc_tau = tc_lo + (tc_hi - tc_lo) * u[:, 2]
+    be_tau = be_lo + (be_hi - be_lo) * u[:, 3]
+    return is_tc, on_accel, tc_tau, be_tau
+
+
+def _subsample_keep(seed: int, start: int, n: int,
+                    keep_fraction: float) -> np.ndarray:
+    """Seeded keep mask for windowed indices ``[start, start + n)``."""
+    u = _indexed_uniforms(seed, _SUBSAMPLE_STREAM, start, n, 1)
+    return u[:, 0] < keep_fraction
+
+
+# --- deterministic record ordering ---------------------------------------
+
+def _record_order(r: RawJobRecord):
+    """Total order on records: submit time, job id, then every remaining
+    field as tie-breaker, so duplicate archive rows with equal
+    ``(submit_time, job_id)`` still sort deterministically regardless of
+    input order."""
+    return (r.submit_time, r.job_id, r.run_time, r.processors,
+            r.requested_processors, r.requested_time, r.wait_time,
+            r.status, r.user, r.group)
+
+
 def _fitted_sigma(width: int, config: IngestConfig) -> float:
     """Amdahl serial fraction fitted from the archive's processor count.
 
@@ -144,33 +277,91 @@ def _fitted_sigma(width: int, config: IngestConfig) -> float:
     return hi - (hi - lo) * frac
 
 
-def _select(records: Sequence[RawJobRecord],
-            config: IngestConfig) -> List[RawJobRecord]:
-    """Stages 1-2: filter, window, cap, subsample (in that order).
+def _demand_model(record: RawJobRecord, config: IngestConfig):
+    """Stage-5 quantities for one selected record.
+
+    Returns ``(width, speedup model, duration ticks, work,
+    duration_clamped, work_clamped)`` — the per-record demand math both
+    the materialized and the streaming paths share verbatim.
+    """
+    width = min(max(1, record.width()), config.max_parallelism_cap)
+    model = AmdahlSpeedup(round(_fitted_sigma(width, config), 6))
+    raw_duration = record.run_time / config.tick_seconds
+    duration = max(raw_duration, DURATION_FLOOR_TICKS)
+    raw_work = duration * model.speedup(width)
+    work = max(WORK_FLOOR, raw_work)
+    return (width, model, duration, work,
+            raw_duration < DURATION_FLOOR_TICKS, raw_work < WORK_FLOOR)
+
+
+def _select(records: Sequence[RawJobRecord], config: IngestConfig,
+            stats: Optional[IngestStats] = None) -> List[RawJobRecord]:
+    """Stages 1-3: filter, order, window, subsample, cap (in that order).
 
     The subsample draw comes from ``config.seed`` — never the per-trace
     seed — so the *selected record set* (and with it the arrival axis
     and the target-load rescale) is a property of the scenario: paired
     per-seed trace variants always share identical arrivals and demands.
+    Keep/drop for the record at windowed position ``w`` is a pure
+    function of ``(config.seed, w)`` (counter-based draw), which the
+    streaming path reproduces chunk by chunk.
     """
-    usable = [r for r in records if r.usable()]
-    if config.include_statuses is not None:
-        allowed = set(config.include_statuses)
-        usable = [r for r in usable if r.status in allowed]
-    usable.sort(key=lambda r: (r.submit_time, r.job_id))
+    usable: List[RawJobRecord] = []
+    n_unusable = n_status = 0
+    allowed = set(config.include_statuses) \
+        if config.include_statuses is not None else None
+    for r in records:
+        if not r.usable():
+            n_unusable += 1
+            continue
+        if allowed is not None and r.status not in allowed:
+            n_status += 1
+            continue
+        usable.append(r)
+    usable.sort(key=_record_order)
+    if stats is not None:
+        stats.n_records += n_unusable + n_status + len(usable)
+        stats.n_unusable += n_unusable
+        stats.n_status_filtered += n_status
     if not usable:
         return []
     t0 = usable[0].submit_time
+    windowed = usable
     if config.window is not None:
         lo, hi = config.window
-        usable = [r for r in usable if lo <= r.submit_time - t0 < hi]
-    if config.subsample < 1.0 and usable:
-        thin_rng = np.random.default_rng(config.seed)
-        keep = thin_rng.random(len(usable)) < config.subsample
-        usable = [r for r, k in zip(usable, keep) if k]
+        windowed = [r for r in usable if lo <= r.submit_time - t0 < hi]
+        if stats is not None:
+            stats.n_windowed_out += len(usable) - len(windowed)
+    kept = windowed
+    if config.subsample < 1.0 and windowed:
+        keep = _subsample_keep(config.seed, 0, len(windowed), config.subsample)
+        kept = [r for r, k in zip(windowed, keep) if k]
+        if stats is not None:
+            stats.n_subsampled_out += len(windowed) - len(kept)
+    selected = kept
     if config.max_jobs is not None:
-        usable = usable[:config.max_jobs]
-    return usable
+        selected = kept[:config.max_jobs]
+        if stats is not None:
+            stats.n_over_cap += len(kept) - len(selected)
+    if stats is not None:
+        stats.n_selected += len(selected)
+    return selected
+
+
+def _job_demand(work: float, affinity: dict,
+                platforms: Sequence[Platform], job_id="?") -> float:
+    """One job's demand in capacity-weighted reference ticks."""
+    total_cap = 0
+    weighted = 0.0
+    for p in platforms:
+        if p.name in affinity:
+            total_cap += p.capacity
+            weighted += affinity[p.name] * p.base_speed * p.capacity
+    if total_cap == 0:
+        raise ValueError(
+            f"job {job_id} runs on no provided platform "
+            f"(affinity {sorted(affinity)})")
+    return work / (weighted / total_cap)
 
 
 def measured_load(jobs: Sequence[Job], platforms: Sequence[Platform]) -> float:
@@ -189,18 +380,27 @@ def measured_load(jobs: Sequence[Job], platforms: Sequence[Platform]) -> float:
     span = max(1, span)
     demand = 0.0
     for job in jobs:
-        total_cap = 0
-        weighted = 0.0
-        for p in platforms:
-            if p.name in job.affinity:
-                total_cap += p.capacity
-                weighted += job.affinity[p.name] * p.base_speed * p.capacity
-        if total_cap == 0:
-            raise ValueError(
-                f"job {job.job_id} runs on no provided platform "
-                f"(affinity {sorted(job.affinity)})")
-        demand += job.work / (weighted / total_cap)
+        demand += _job_demand(job.work, job.affinity, platforms, job.job_id)
     return demand / (capacity * span)
+
+
+def count_clamps(records: Iterable[RawJobRecord],
+                 config: IngestConfig) -> Tuple[int, int]:
+    """How many usable records would hit the duration / work floors.
+
+    A selection-free scan (no platforms needed) for ``trace stats``:
+    reports the records whose ``run_time`` is so small that
+    normalization at ``config.tick_seconds`` would silently floor their
+    duration (``< 1e-9`` ticks) or their work (``< 1.0`` unit-ticks).
+    """
+    n_duration = n_work = 0
+    for r in records:
+        if not r.usable():
+            continue
+        _, _, _, _, clamped_d, clamped_w = _demand_model(r, config)
+        n_duration += clamped_d
+        n_work += clamped_w
+    return n_duration, n_work
 
 
 def normalize_records(
@@ -208,6 +408,7 @@ def normalize_records(
     config: IngestConfig,
     platforms: Sequence[Platform],
     seed: Optional[int] = None,
+    stats: Optional[IngestStats] = None,
 ) -> List[Job]:
     """Map raw archive records into simulator jobs (pure, seeded).
 
@@ -221,13 +422,18 @@ def normalize_records(
     rescaling. The first platform is the primary (CPU-like) pool every
     job may run on; the second, if present, is the accelerator pool an
     ``accel_fraction`` of jobs also run on.
+
+    ``stats``, when given, is filled with the selection / clamp counts
+    (:class:`IngestStats`) that the pipeline previously applied
+    silently. For archives too large to materialize, use
+    :func:`repro.workload.ingest.stream.stream_normalize`, which emits
+    the byte-identical job stream in bounded memory.
     """
     if not platforms:
         raise ValueError("need at least one platform")
     effective_seed = config.seed if seed is None else seed
-    rng = np.random.default_rng(effective_seed)
 
-    selected = _select(records, config)
+    selected = _select(records, config, stats)
     if not selected:
         return []
 
@@ -238,31 +444,26 @@ def normalize_records(
     t0 = selected[0].submit_time
     arrivals_s = np.array([r.submit_time - t0 for r in selected])
 
-    # Stage 4: work / elasticity / scaling law, before any load math —
+    # Stage 5: work / elasticity / scaling law, before any load math —
     # the demand numbers are what the load measurement needs.
-    widths = [min(max(1, r.width()), config.max_parallelism_cap)
-              for r in selected]
-    models = [AmdahlSpeedup(round(_fitted_sigma(w, config), 6))
-              for w in widths]
-    duration_ticks = [max(r.run_time / config.tick_seconds, 1e-9)
-                      for r in selected]
-    works = [max(1.0, d * m.speedup(w))
-             for d, m, w in zip(duration_ticks, models, widths)]
+    widths: List[int] = []
+    models: List[AmdahlSpeedup] = []
+    works: List[float] = []
+    for r in selected:
+        width, model, _, work, clamped_d, clamped_w = _demand_model(r, config)
+        widths.append(width)
+        models.append(model)
+        works.append(work)
+        if stats is not None:
+            stats.n_clamped_duration += clamped_d
+            stats.n_clamped_work += clamped_w
 
-    # Stage 5 draws, all from the one seeded stream, one batch per
-    # synthesis aspect so the draw count per job is fixed.
-    def synthesis_draws(draw_rng: np.random.Generator):
-        n = len(selected)
-        is_tc = draw_rng.random(n) < config.time_critical_fraction
-        on_accel = (draw_rng.random(n) < config.accel_fraction) \
-            if accel is not None else np.zeros(n, dtype=bool)
-        tc_tau = draw_rng.uniform(*config.tc_tightness, size=n)
-        be_tau = draw_rng.uniform(*config.be_tightness, size=n)
-        return is_tc, on_accel, tc_tau, be_tau
+    n = len(selected)
+    has_accel = accel is not None
+    is_tc, on_accel, tc_tau, be_tau = _synthesis_arrays(
+        effective_seed, 0, n, config, has_accel)
 
-    is_tc, on_accel, tc_tau, be_tau = synthesis_draws(rng)
-
-    # Stage 3b: arrival quantization, optionally rescaled to target load.
+    # Stage 4b: arrival quantization, optionally rescaled to target load.
     def ticks_for(scale: float) -> List[int]:
         return [int(round(a * scale / config.tick_seconds))
                 for a in arrivals_s]
@@ -273,7 +474,7 @@ def normalize_records(
         # simulated time axis), so the probe always draws its synthesis
         # from ``config.seed``: paired per-seed trace variants then share
         # identical arrival ticks, differing only in class/deadline draws.
-        probe_draws = synthesis_draws(np.random.default_rng(config.seed))
+        probe_draws = _synthesis_arrays(config.seed, 0, n, config, has_accel)
         probe = _build_jobs(selected, ticks_for(1.0), widths, models, works,
                             *probe_draws,
                             primary, accel, base_speeds, config)
@@ -286,35 +487,54 @@ def normalize_records(
     return jobs
 
 
+def _affinity_for(on_accel, primary: Platform, accel: Optional[Platform],
+                  config: IngestConfig) -> dict:
+    """Stage-6 platform-eligibility map for one job (shared by the job
+    builder and the streaming load probe — one copy of this logic)."""
+    if accel is not None and on_accel:
+        return {primary.name: config.accel_cpu_penalty,
+                accel.name: config.accel_affinity}
+    return {primary.name: 1.0}
+
+
+def _emit_job(arrival_tick, width, model, work, is_tc, on_accel,
+              tc_tau, be_tau, primary: Platform, accel: Optional[Platform],
+              base_speeds, config: IngestConfig) -> Job:
+    """Stage-6 job construction for one selected record.
+
+    Shared verbatim by the materialized and streaming paths so the two
+    produce bit-identical floats.
+    """
+    k_max = width
+    k_min = max(1, int(math.ceil(k_max * config.min_parallelism_frac)))
+    affinity = _affinity_for(on_accel, primary, accel, config)
+    best_rate = max(affinity[p] * base_speeds[p] * model.speedup(k_max)
+                    for p in affinity)
+    ideal = work / best_rate
+    tau = float(tc_tau if is_tc else be_tau)
+    arrival = max(0, int(arrival_tick))
+    return Job(
+        arrival_time=arrival,
+        work=float(work),
+        deadline=arrival + max(tau * ideal, 1.0 + 1e-6),
+        min_parallelism=k_min,
+        max_parallelism=k_max,
+        speedup_model=model,
+        affinity=affinity,
+        job_class=TC_CLASS if is_tc else BE_CLASS,
+        weight=config.tc_weight if is_tc else config.be_weight,
+    )
+
+
 def _build_jobs(selected, arrival_ticks, widths, models, works,
                 is_tc, on_accel, tc_tau, be_tau,
                 primary: Platform, accel: Optional[Platform],
                 base_speeds, config: IngestConfig) -> List[Job]:
-    jobs: List[Job] = []
-    for i in range(len(selected)):
-        k_max = widths[i]
-        k_min = max(1, int(math.ceil(k_max * config.min_parallelism_frac)))
-        model = models[i]
-        if accel is not None and on_accel[i]:
-            affinity = {primary.name: config.accel_cpu_penalty,
-                        accel.name: config.accel_affinity}
-        else:
-            affinity = {primary.name: 1.0}
-        best_rate = max(affinity[p] * base_speeds[p] * model.speedup(k_max)
-                        for p in affinity)
-        ideal = works[i] / best_rate
-        tau = float(tc_tau[i] if is_tc[i] else be_tau[i])
-        arrival = max(0, int(arrival_ticks[i]))
-        jobs.append(Job(
-            arrival_time=arrival,
-            work=float(works[i]),
-            deadline=arrival + max(tau * ideal, 1.0 + 1e-6),
-            min_parallelism=k_min,
-            max_parallelism=k_max,
-            speedup_model=model,
-            affinity=affinity,
-            job_class=TC_CLASS if is_tc[i] else BE_CLASS,
-            weight=config.tc_weight if is_tc[i] else config.be_weight,
-        ))
+    jobs = [
+        _emit_job(arrival_ticks[i], widths[i], models[i], works[i],
+                  is_tc[i], on_accel[i], tc_tau[i], be_tau[i],
+                  primary, accel, base_speeds, config)
+        for i in range(len(selected))
+    ]
     jobs.sort(key=lambda j: j.arrival_time)
     return jobs

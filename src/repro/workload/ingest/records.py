@@ -73,8 +73,9 @@ class TraceMeta:
     format: str                      # "swf" | "columnar"
     max_procs: int = -1              # header MaxProcs, if present
     unix_start_time: int = -1        # header UnixStartTime, if present
-    n_records: int = 0               # usable records parsed
+    n_records: int = 0               # records parsed
     n_skipped: int = 0               # lines/records dropped while parsing
+    n_unusable: int = 0              # parsed records failing usable()
     header: Tuple[Tuple[str, str], ...] = ()   # raw header key/value pairs
 
 
@@ -98,6 +99,8 @@ def record_stats(records: Sequence[RawJobRecord]) -> Dict[str, float]:
     return {
         "n_jobs": len(records),
         "n_usable": len(usable),
+        "n_unusable": len(records) - len(usable),
+        "n_zero_runtime": sum(1 for r in records if r.run_time == 0),
         "span_seconds": float(span),
         "mean_interarrival_s": float(span / max(1, len(records) - 1)),
         "runtime_p50_s": pct(runtimes, 0.5),

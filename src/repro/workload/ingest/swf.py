@@ -115,6 +115,7 @@ def parse_swf_lines(lines: Iterable[str], source: str = "<lines>"
         unix_start_time=_header_i(head, "UnixStartTime"),
         n_records=len(records),
         n_skipped=skipped,
+        n_unusable=sum(1 for r in records if not r.usable()),
         header=tuple(header),
     )
     return meta, records

@@ -1,0 +1,115 @@
+"""ResultCache size-capped LRU eviction.
+
+The ``.repro-cache/`` directory previously grew without bound as
+scenario fingerprints churned. Pinned here:
+
+* ``prune(max_bytes)`` evicts oldest-mtime entries first until the
+  cache fits, deterministically (path tiebreak), and reports evictions
+  through ``stats``;
+* a ``max_bytes``-capped cache prunes automatically on every ``put``;
+* ``get`` refreshes recency, so eviction is LRU (by use), not FIFO
+  (by write).
+"""
+
+import os
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.sim.metrics import MetricsReport
+
+
+def report() -> MetricsReport:
+    import dataclasses
+
+    values = {}
+    for f in dataclasses.fields(MetricsReport):
+        values[f.name] = 0 if f.type == "int" else 0.5
+    return MetricsReport(**values)
+
+
+def key_for(i: int) -> str:
+    return f"{i:02d}" + "ab" * 31          # 64 hex-ish chars, distinct fanout
+
+
+def put_with_mtime(cache: ResultCache, i: int, mtime: float) -> str:
+    key = key_for(i)
+    cache.put(key, report())
+    os.utime(cache._path(key), (mtime, mtime))
+    return key
+
+
+def entry_size(cache: ResultCache) -> int:
+    cache.put(key_for(99), report())
+    size = cache._path(key_for(99)).stat().st_size
+    cache._path(key_for(99)).unlink()
+    return size
+
+
+class TestPrune:
+    def test_evicts_oldest_until_fit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        size = entry_size(cache)
+        for i in range(5):
+            put_with_mtime(cache, i, 1000.0 + i)
+        removed = cache.prune(max_bytes=2 * size)
+        assert removed == 3
+        assert cache.stats["evictions"] == 3
+        assert cache.get(key_for(0)) is None        # oldest gone
+        assert cache.get(key_for(4)) is not None    # newest kept
+
+    def test_noop_when_under_cap(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        put_with_mtime(cache, 0, 1000.0)
+        assert cache.prune(max_bytes=10**9) == 0
+        assert cache.stats["evictions"] == 0
+
+    def test_prune_needs_a_cap(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(tmp_path).prune()
+
+    def test_instance_cap_is_default(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        put_with_mtime(cache, 0, 1000.0)
+        put_with_mtime(cache, 1, 2000.0)
+        cache.max_bytes = 1
+        assert cache.prune() == 2            # uses instance cap
+        assert len(cache) == 0
+
+    def test_invalid_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(tmp_path, max_bytes=0)
+
+
+class TestAutoPruneOnPut:
+    def test_put_keeps_cache_under_cap(self, tmp_path):
+        probe = ResultCache(tmp_path / "probe")
+        size = entry_size(probe)
+        cache = ResultCache(tmp_path / "cache", max_bytes=3 * size)
+        for i in range(8):
+            put_with_mtime(cache, i, 1000.0 + i)
+        assert cache.size_bytes() <= 3 * size
+        assert len(cache) <= 3
+        assert cache.stats["evictions"] >= 5
+        # the most recent entries survive
+        assert cache.get(key_for(7)) is not None
+
+    def test_uncapped_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(6):
+            cache.put(key_for(i), report())
+        assert len(cache) == 6
+        assert cache.stats["evictions"] == 0
+
+
+class TestLRUNotFIFO:
+    def test_get_refreshes_recency(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        size = entry_size(cache)
+        for i in range(3):
+            put_with_mtime(cache, i, 1000.0 + i)
+        # Touch the oldest-written entry: it becomes most recently used.
+        assert cache.get(key_for(0)) is not None
+        cache.prune(max_bytes=size)
+        assert cache.get(key_for(0)) is not None    # survived: recently used
+        assert cache.get(key_for(1)) is None        # evicted instead

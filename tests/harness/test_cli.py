@@ -207,6 +207,80 @@ class TestTraceCommands:
             ["sweep", "--scenario", "swf-fixture", "columnar-fixture"])
         assert args.scenario == ["swf-fixture", "columnar-fixture"]
 
+    def test_parses_stream_and_shard_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "import", "--format", "swf", "--input", "x.swf",
+             "--out", "t.jsonl.gz", "--stream", "--shard-jobs", "1000"])
+        assert args.stream is True and args.shard_jobs == 1000
+        args = build_parser().parse_args(
+            ["trace", "convert", "--input", "a.json", "--out", "d",
+             "--shard-jobs", "500"])
+        assert args.shard_jobs == 500
+        args = build_parser().parse_args(
+            ["sweep", "--cache-max-mb", "64"])
+        assert args.cache_max_mb == 64.0
+        args = build_parser().parse_args(
+            ["run", "e02_main_table", "--scenario", "swf-fixture"])
+        assert args.scenario == "swf-fixture"
+
+    def test_streamed_import_byte_identical_to_materialized(self, tmp_path,
+                                                            capsys):
+        """Acceptance: --stream writes exactly the bytes the materialized
+        import writes, for the same archive + config + seed."""
+        outs = [tmp_path / "mat.jsonl.gz", tmp_path / "st.jsonl.gz"]
+        base = ["trace", "import", "--format", "swf",
+                "--input", self.fixture(), "--tick-seconds", "120",
+                "--target-load", "0.8", "--seed", "3"]
+        assert main(base + ["--out", str(outs[0])]) == 0
+        assert main(base + ["--stream", "--out", str(outs[1])]) == 0
+        assert outs[0].read_bytes() == outs[1].read_bytes()
+        assert "streamed" in capsys.readouterr().out
+
+    def test_import_reports_selection_and_clamps(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(["trace", "import", "--format", "swf",
+                     "--input", self.fixture(), "--out", str(out),
+                     "--max-jobs", "10"]) == 0
+        text = capsys.readouterr().out
+        assert "selection:" in text and "clamped:" in text
+        assert "over cap" in text
+
+    def test_import_to_shards_and_sweep(self, tmp_path, capsys):
+        shards = tmp_path / "shards"
+        assert main(["trace", "import", "--format", "swf",
+                     "--input", self.fixture(), "--out", str(shards),
+                     "--stream", "--shard-jobs", "25",
+                     "--tick-seconds", "240", "--max-jobs", "30"]) == 0
+        from repro.workload.traces import load_trace
+
+        assert len(load_trace(str(shards))) == 30
+        capsys.readouterr()
+        assert main(["trace", "stats", "--input", str(shards)]) == 0
+        assert "horizon_ticks" in capsys.readouterr().out
+
+    def test_convert_to_jsonl_and_shards(self, tmp_path, capsys):
+        plain = tmp_path / "t.json"
+        main(["trace", "import", "--format", "swf",
+              "--input", self.fixture(), "--out", str(plain)])
+        lines = tmp_path / "t.jsonl.gz"
+        shards = tmp_path / "sh"
+        assert main(["trace", "convert", "--input", str(plain),
+                     "--out", str(lines)]) == 0
+        assert main(["trace", "convert", "--input", str(lines),
+                     "--out", str(shards), "--shard-jobs", "40"]) == 0
+        from repro.workload.traces import load_trace, trace_payload
+
+        ref = trace_payload(load_trace(str(plain)))
+        assert trace_payload(load_trace(str(lines))) == ref
+        assert trace_payload(load_trace(str(shards))) == ref
+
+    def test_archive_stats_reports_clamps(self, capsys):
+        assert main(["trace", "stats", "--format", "swf",
+                     "--input", self.fixture(),
+                     "--tick-seconds", "3600"]) == 0
+        out = capsys.readouterr().out
+        assert "clamped_work" in out and "n_unusable" in out
+
     def test_evaluate_and_train_accept_scenario(self):
         args = build_parser().parse_args(["evaluate", "--scenario", "quick"])
         assert args.scenario == "quick"

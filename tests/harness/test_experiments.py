@@ -47,6 +47,50 @@ class TestFastExperiments:
         assert adv[0] >= adv[-1] - 0.1   # advantage shrinks as sigma grows
 
 
+class TestScenarioPlumbing:
+    """--scenario reaches e02/e03: DRL-era experiments on real traces."""
+
+    def scenario(self):
+        from tests.harness.test_library import small_trace_scenario
+
+        return small_trace_scenario()
+
+    def test_e02_accepts_scenario_instance(self):
+        out = E.e02_main_table(n_traces=1, include_drl=False,
+                               scenario=self.scenario())
+        assert len(out.rows) >= 5
+        assert all("miss_rate" in r for r in out.rows)
+
+    def test_e02_accepts_registry_name(self):
+        out = E.e02_main_table(n_traces=1, include_drl=False,
+                               scenario="quick")
+        assert out.rows
+
+    def test_e03_sweeps_trace_backed_scenario(self):
+        from repro.baselines import EDFScheduler
+
+        out = E.e03_load_sweep(loads=(0.5, 0.9), n_traces=1,
+                               schedulers={"edf": EDFScheduler()},
+                               scenario=self.scenario())
+        assert [r["load"] for r in out.rows] == [0.5, 0.9]
+
+    def test_e03_sweeps_synthetic_registry_scenario(self):
+        from repro.baselines import EDFScheduler
+
+        out = E.e03_load_sweep(loads=(0.5, 1.0), n_traces=1,
+                               schedulers={"edf": EDFScheduler()},
+                               scenario="quick")
+        assert [r["load"] for r in out.rows] == [0.5, 1.0]
+
+    def test_e03_rejects_pinned_traces(self, tmp_path):
+        from repro.workload.traces import save_trace
+
+        path = tmp_path / "pinned.json"
+        save_trace(self.scenario().trace(1000), str(path))
+        with pytest.raises(ValueError, match="with_target_load"):
+            E.e03_load_sweep(loads=(0.5,), scenario=str(path))
+
+
 @pytest.mark.slow
 class TestTrainingExperiments:
     """Tiny-budget versions of the training experiments (still < ~1 min each)."""

@@ -160,6 +160,51 @@ class TestFingerprintStability:
         assert fingerprint(FixedTraceScenario.from_file(str(p1))) != \
             fingerprint(FixedTraceScenario.from_file(str(p2)))
 
+    def test_fingerprint_stable_across_containers(self, tmp_path):
+        """The same jobs give the same cache key whichever container
+        (.json, .jsonl.gz, shards) — and so whichever import path,
+        streamed or materialized — produced them."""
+        from repro.workload.traces import save_trace_shards
+
+        jobs = small_trace_scenario().trace(1000)
+        plain = tmp_path / "t.json"
+        lines = tmp_path / "t.jsonl.gz"
+        shards = tmp_path / "shards"
+        save_trace(jobs, str(plain))
+        save_trace(jobs, str(lines))
+        save_trace_shards(iter(jobs), str(shards), jobs_per_shard=10)
+        prints = {fingerprint(FixedTraceScenario.from_file(str(p)))
+                  for p in (plain, lines, shards)}
+        assert len(prints) == 1
+
+    def test_trace_backed_fingerprint_ignores_source(self):
+        a = small_trace_scenario()
+        b = small_trace_scenario()
+        b.source = "a-copy-of-the-archive.swf"
+        assert fingerprint(a) == fingerprint(b)
+
+
+class TestWithTargetLoad:
+    def test_renormalizes_to_new_load(self):
+        base = small_trace_scenario(target_load=0.7)
+        lighter = base.with_target_load(0.4)
+        assert lighter.load == pytest.approx(0.4, rel=0.25)
+        assert lighter.ingest.target_load == 0.4
+        assert lighter.records == base.records
+        assert lighter.engine == base.engine
+
+    def test_horizon_covers_the_rescaled_trace(self):
+        """Lowering the load stretches arrivals; max_ticks must follow,
+        or the swept point silently simulates a truncated trace."""
+        base = small_trace_scenario(target_load=0.7)
+        lighter = base.with_target_load(0.2)
+        last_arrival = max(j.arrival_time for j in lighter.trace(1000))
+        assert lighter.max_ticks > last_arrival
+
+    def test_changes_fingerprint(self):
+        base = small_trace_scenario(target_load=0.7)
+        assert fingerprint(base.with_target_load(0.5)) != fingerprint(base)
+
 
 class TestSweepByteIdentity:
     SCHEDULERS = {"edf": BaselineFactory("edf"), "fifo": BaselineFactory("fifo")}

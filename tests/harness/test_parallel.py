@@ -108,7 +108,7 @@ class TestCache:
         scenarios = {"base": small_scenario()}
         rows_cold = sweep_schedulers(scenarios, SCHEDULERS, n_traces=2,
                                      cache=cache)
-        assert cache.stats == {"hits": 0, "misses": 4}
+        assert cache.stats == {"hits": 0, "misses": 4, "evictions": 0}
         assert len(cache) == 4
 
         # Warm run: every cell served from disk, no simulation executed.
@@ -138,7 +138,7 @@ class TestCache:
         cache = ResultCache(tmp_path / "cache")
         sweep_schedulers({"base": small_scenario()}, {"edf": SCHEDULERS["edf"]},
                          n_traces=1, cache=cache)
-        assert cache.stats == {"hits": 0, "misses": 1}
+        assert cache.stats == {"hits": 0, "misses": 1, "evictions": 0}
 
         scenarios = {"base": small_scenario()}
         kwargs = dict(n_traces=1, cache=cache)
@@ -154,7 +154,7 @@ class TestCache:
         elif change == "scheduler":
             schedulers = {"edf": BaselineFactory("edf", parallelism="min")}
         sweep_schedulers(scenarios, schedulers, **kwargs)
-        assert cache.stats == {"hits": 0, "misses": 2}
+        assert cache.stats == {"hits": 0, "misses": 2, "evictions": 0}
 
     def test_scheduler_name_alone_does_not_mask_params(self):
         """Two factories with the same display name but different params

@@ -95,6 +95,122 @@ class TestGzip:
         assert a.read_bytes() == b.read_bytes()
 
 
+class TestChunkedContainers:
+    """JSONL / sharded-JSONL containers: round trips, streams, determinism."""
+
+    def jobs(self, platforms, rng, n_horizon=40):
+        cfg = WorkloadConfig(classes=default_job_classes(), horizon=n_horizon)
+        return generate_trace(cfg, platforms, rng, load=0.8)
+
+    @pytest.mark.parametrize("name", ["t.jsonl", "t.jsonl.gz"])
+    def test_jsonl_roundtrip(self, platforms, rng, tmp_path, name):
+        jobs = self.jobs(platforms, rng)
+        path = str(tmp_path / name)
+        n = save_trace(jobs, path)
+        assert n == len(jobs)
+        assert trace_payload(load_trace(path)) == trace_payload(jobs)
+
+    def test_json_and_jsonl_decode_identically(self, platforms, rng, tmp_path):
+        jobs = self.jobs(platforms, rng)
+        a, b = str(tmp_path / "t.json.gz"), str(tmp_path / "t.jsonl.gz")
+        save_trace(jobs, a)
+        save_trace(jobs, b)
+        assert trace_payload(load_trace(a)) == trace_payload(load_trace(b))
+
+    def test_jsonl_gz_bytes_deterministic(self, tmp_path):
+        jobs = [make_job(work=4.0), make_job(arrival=2, work=2.5)]
+        a, b = tmp_path / "a.jsonl.gz", tmp_path / "b.jsonl.gz"
+        save_trace(jobs, str(a))
+        import time
+
+        time.sleep(0.05)
+        save_trace(jobs, str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_save_consumes_a_generator(self, platforms, rng, tmp_path):
+        jobs = self.jobs(platforms, rng)
+        path = str(tmp_path / "gen.jsonl.gz")
+        n = save_trace(iter(jobs), path)
+        assert n == len(jobs)
+        assert trace_payload(load_trace(path)) == trace_payload(jobs)
+
+    def test_iter_trace_streams_jsonl(self, platforms, rng, tmp_path):
+        from repro.workload.traces import iter_trace
+
+        jobs = self.jobs(platforms, rng)
+        path = str(tmp_path / "t.jsonl")
+        save_trace(jobs, path)
+        it = iter_trace(path)
+        first = next(it)                    # lazily readable
+        assert first.arrival_time == jobs[0].arrival_time
+        assert 1 + sum(1 for _ in it) == len(jobs)
+
+    def test_shard_roundtrip_and_manifest(self, platforms, rng, tmp_path):
+        from repro.workload.traces import MANIFEST_NAME, save_trace_shards
+
+        jobs = self.jobs(platforms, rng)
+        out = tmp_path / "shards"
+        manifest = save_trace_shards(iter(jobs), str(out), jobs_per_shard=7)
+        assert manifest["n_jobs"] == len(jobs)
+        assert len(manifest["shards"]) == -(-len(jobs) // 7)
+        assert sum(manifest["shard_jobs"]) == len(jobs)
+        assert (out / MANIFEST_NAME).is_file()
+        assert trace_payload(load_trace(str(out))) == trace_payload(jobs)
+
+    def test_shard_bytes_deterministic(self, tmp_path):
+        from repro.workload.traces import save_trace_shards
+
+        jobs = [make_job(work=float(i + 1)) for i in range(5)]
+        m1 = save_trace_shards(jobs, str(tmp_path / "a"), jobs_per_shard=2)
+        m2 = save_trace_shards(jobs, str(tmp_path / "b"), jobs_per_shard=2)
+        for name in m1["shards"]:
+            assert (tmp_path / "a" / name).read_bytes() == \
+                (tmp_path / "b" / name).read_bytes()
+        assert m1 == m2
+
+    def test_shard_rejects_bad_chunk(self, tmp_path):
+        from repro.workload.traces import save_trace_shards
+
+        with pytest.raises(ValueError, match="jobs_per_shard"):
+            save_trace_shards([], str(tmp_path / "s"), jobs_per_shard=0)
+
+    def test_looks_like_trace_path(self, tmp_path):
+        from repro.workload.traces import looks_like_trace_path, save_trace_shards
+
+        assert looks_like_trace_path("x.json")
+        assert looks_like_trace_path("x.jsonl.gz")
+        assert not looks_like_trace_path("x.csv")
+        assert not looks_like_trace_path(str(tmp_path))    # no manifest
+        save_trace_shards([make_job()], str(tmp_path / "s"))
+        assert looks_like_trace_path(str(tmp_path / "s"))
+
+    def test_malformed_jsonl_line_named(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = trace_payload([make_job()])[0]
+        import json as _json
+
+        path.write_text(_json.dumps(good) + "\n{not json\n")
+        with pytest.raises(ValueError, match="line 2"):
+            load_trace(str(path))
+
+    def test_jsonl_missing_field_named(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        record = trace_payload([make_job()])[0]
+        del record["work"]
+        import json as _json
+
+        path.write_text(_json.dumps(record) + "\n")
+        with pytest.raises(ValueError, match="missing field 'work'"):
+            load_trace(str(path))
+
+    def test_non_manifest_dir_rejected(self, tmp_path):
+        from repro.workload.traces import MANIFEST_NAME, iter_trace
+
+        (tmp_path / MANIFEST_NAME).write_text('{"format": "other"}')
+        with pytest.raises(ValueError, match="shard manifest"):
+            list(iter_trace(str(tmp_path)))
+
+
 class TestMalformedTraces:
     """Malformed JSON raises ValueError naming the offending field."""
 
