@@ -1,0 +1,29 @@
+"""E18 (table): trained-policy leaderboard over the scenario registry.
+
+Expected shape: every entry gets a rank, the cross-scenario matrix
+covers the full entry x scenario grid, and each trained policy carries
+a transfer-gap column (its away-from-home excess over the natively
+trained policy). Uses a temp policy store/cache so the benchmark is
+hermetic and measures the cold (train + simulate) path.
+"""
+
+import tempfile
+
+from repro.harness import experiments as E
+
+
+def test_e18_leaderboard(once):
+    with tempfile.TemporaryDirectory() as tmp:
+        out = once(E.e18_leaderboard,
+                   scenarios=("quick", "swf-fixture"),
+                   agents=("ppo",),
+                   train_iterations=4, n_traces=2,
+                   cache_dir=f"{tmp}/cache", policy_dir=f"{tmp}/policies")
+    print("\n" + out.text)
+    entries = {r["entry"] for r in out.rows}
+    assert "ppo@quick" in entries and "ppo@swf-fixture" in entries
+    assert {"edf", "tetris", "greedy-elastic", "fifo"} <= entries
+    assert [r["rank"] for r in out.rows] == list(range(1, len(out.rows) + 1))
+    trained = [r for r in out.rows if r["trained_on"]]
+    assert all("transfer_gap" in r for r in trained)
+    assert all(0.0 <= r["win_rate"] <= 1.0 for r in out.rows)

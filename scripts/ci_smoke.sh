@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# CI smoke steps, runnable locally from any checkout:
+#
+#     bash scripts/ci_smoke.sh                 # every quick step
+#     bash scripts/ci_smoke.sh sweep trace     # a subset, in order
+#     bash scripts/ci_smoke.sh leaderboard
+#
+# Steps: sweep, trace, stream, leaderboard, bench, nightly-leaderboard.
+# Each step is exactly what .github/workflows/ci.yml runs, so a failure
+# reproduces locally with the same command. Scratch state lives in
+# .ci-cache/ (result cache), .ci-policies/ (policy store), and
+# .ci-trace/ (imported traces + logs); delete them for a cold run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+CACHE_DIR=.ci-cache
+POLICY_DIR=.ci-policies
+TRACE_DIR=.ci-trace
+
+step_sweep() {
+    # Parallel scheduler sweep, cold then warm: the second run must be
+    # served from the persistent result cache.
+    for _ in 1 2; do
+        python -m repro.cli sweep --loads 0.6 \
+            --schedulers edf,fifo --traces 2 --max-ticks 120 \
+            --workers 2 --cache-dir "$CACHE_DIR"
+    done
+}
+
+step_trace() {
+    # Trace ingestion: import + stats on the bundled hermetic fixture.
+    mkdir -p "$TRACE_DIR"
+    python -m repro.cli trace import --format swf \
+        --input src/repro/workload/ingest/fixtures/sample.swf \
+        --out "$TRACE_DIR/fixture.json.gz" --tick-seconds 120 \
+        --target-load 0.8
+    python -m repro.cli trace stats --input "$TRACE_DIR/fixture.json.gz"
+    python -m repro.cli trace stats --format swf \
+        --input src/repro/workload/ingest/fixtures/sample.swf
+    # Real-trace scenario sweep (cold + warm) through the registry.
+    for _ in 1 2; do
+        python -m repro.cli sweep --scenario swf-fixture \
+            --schedulers edf,fifo --traces 2 --max-ticks 200 \
+            --workers 2 --cache-dir "$CACHE_DIR"
+    done
+}
+
+step_stream() {
+    # Streamed archive-scale ingest: 50k generated SWF rows must import
+    # under a hard 2 GB address-space cap and normalize in < 16 MB of
+    # traced allocations (materializing the record list alone is ~60 MB).
+    mkdir -p "$TRACE_DIR"
+    python -c "import sys; sys.path.insert(0, 'benchmarks'); \
+        from bench_micro import write_synthetic_swf; \
+        write_synthetic_swf('$TRACE_DIR/big.swf', n_rows=50_000)"
+    bash -c "ulimit -v 2097152; python -m repro.cli \
+        trace import --stream --format swf --input $TRACE_DIR/big.swf \
+        --out $TRACE_DIR/big.jsonl.gz --tick-seconds 60 \
+        --max-jobs 400 --target-load 0.8"
+    python -c "import tracemalloc; \
+        from repro.sim import Platform; \
+        from repro.workload.ingest import IngestConfig, stream_normalize_swf; \
+        tracemalloc.start(); \
+        n = sum(1 for _ in stream_normalize_swf('$TRACE_DIR/big.swf', \
+            IngestConfig(tick_seconds=60.0, target_load=0.8), \
+            [Platform('cpu', 24, 1.0), Platform('gpu', 8, 1.0)])); \
+        peak = tracemalloc.get_traced_memory()[1]; \
+        print(f'{n} jobs, peak {peak/1e6:.1f} MB'); \
+        assert n == 50_000 and peak < 16 * 1024 * 1024, (n, peak)"
+    for _ in 1 2; do
+        python -m repro.cli sweep \
+            --scenario "$TRACE_DIR/big.jsonl.gz" --schedulers edf,fifo \
+            --traces 1 --max-ticks 150 --workers 2 \
+            --cache-dir "$CACHE_DIR" --cache-max-mb 64
+    done
+}
+
+step_leaderboard() {
+    # Trained-policy leaderboard over a quick registry subset: two
+    # agents, minimal training, 2 workers. Cold run trains and fills the
+    # policy store + result cache; the warm run must retrain nothing,
+    # miss nothing, and emit a byte-identical leaderboard.json.
+    mkdir -p "$TRACE_DIR"
+    local args=(--scenarios quick swf-fixture --agents ppo,a2c
+                --baselines edf,tetris,greedy-elastic,fifo
+                --train-iterations 2 --train-traces 2 --val-traces 1
+                --traces 2 --workers 2
+                --cache-dir "$CACHE_DIR" --policy-dir "$POLICY_DIR")
+    python -m repro.cli leaderboard "${args[@]}" \
+        --out leaderboard.json --out leaderboard.md \
+        | tee "$TRACE_DIR/leaderboard-cold.log"
+    python -m repro.cli leaderboard "${args[@]}" \
+        --out "$TRACE_DIR/leaderboard-warm.json" \
+        | tee "$TRACE_DIR/leaderboard-warm.log"
+    cmp leaderboard.json "$TRACE_DIR/leaderboard-warm.json"
+    grep -q "policy store: 0 trained" "$TRACE_DIR/leaderboard-warm.log"
+    grep -q ", 0 misses" "$TRACE_DIR/leaderboard-warm.log"
+    echo "leaderboard smoke: warm run reused every policy and cell," \
+         "rows byte-identical"
+}
+
+step_bench() {
+    python benchmarks/bench_micro.py --skip-parallel
+}
+
+step_nightly_leaderboard() {
+    # Full-registry leaderboard at a real (still bench-sized) training
+    # budget; the nightly artifact tracks policy-vs-baseline rankings
+    # across every bundled scenario.
+    python -m repro.cli leaderboard \
+        --scenarios standard quick swf-fixture columnar-fixture \
+        --agents ppo --train-iterations 40 --traces 3 --workers 2 \
+        --cache-dir "$CACHE_DIR" --policy-dir "$POLICY_DIR" \
+        --out leaderboard-nightly.json --out leaderboard-nightly.md
+}
+
+run_step() {
+    case "$1" in
+        sweep)               step_sweep ;;
+        trace)               step_trace ;;
+        stream)              step_stream ;;
+        leaderboard)         step_leaderboard ;;
+        bench)               step_bench ;;
+        nightly-leaderboard) step_nightly_leaderboard ;;
+        *) echo "unknown step '$1' (sweep|trace|stream|leaderboard|bench|" \
+                "nightly-leaderboard)" >&2; exit 2 ;;
+    esac
+}
+
+if [ "$#" -eq 0 ]; then
+    set -- sweep trace stream leaderboard bench
+fi
+for step in "$@"; do
+    echo "=== ci_smoke: $step ==="
+    run_step "$step"
+done

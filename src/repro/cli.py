@@ -15,6 +15,14 @@ Usage::
         --input huge.swf.gz --out trace.jsonl.gz --target-load 0.8
     python -m repro.cli trace stats --input trace.json.gz
     python -m repro.cli scenarios
+    python -m repro.cli leaderboard --scenarios quick swf-fixture \
+        --agents ppo --workers 4 --out leaderboard.json --out leaderboard.md
+
+``leaderboard`` trains each requested agent once per named scenario
+(policies persist in a content-addressed store, ``.repro-policies/`` by
+default, so re-runs retrain nothing), evaluates every trained policy and
+heuristic baseline on every scenario, and ranks them — the
+cross-scenario generalization matrix of :mod:`repro.harness.leaderboard`.
 
 ``sweep`` shards its (scenario x scheduler x trace) evaluation cells
 over a spawn-safe process pool and memoizes each cell in a persistent
@@ -158,6 +166,54 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store.add_rows("sweep", rows)
         store.save(args.out)
         print(f"rows saved to {args.out}")
+    return 0
+
+
+def _cmd_leaderboard(args: argparse.Namespace) -> int:
+    from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
+    from repro.harness.leaderboard import (
+        DEFAULT_POLICY_DIR,
+        AgentSpec,
+        PolicyStore,
+        build_leaderboard,
+    )
+
+    specs = [
+        AgentSpec(algo=name.strip(), iterations=args.train_iterations,
+                  seed=args.seed, warm_start=not args.no_warm_start,
+                  n_train_traces=args.train_traces,
+                  n_val_traces=args.val_traces)
+        for name in args.agents.split(",") if name.strip()
+    ]
+    baselines = [b.strip() for b in args.baselines.split(",") if b.strip()]
+    # Reject artifact-path typos up front: training can take hours and
+    # must not complete before a bad --out suffix surfaces.
+    for path in args.out or []:
+        if not path.endswith((".json", ".md")):
+            print(f"--out must end in .json or .md, got {path!r}",
+                  file=sys.stderr)
+            return 2
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    store = PolicyStore(args.policy_dir or DEFAULT_POLICY_DIR)
+    result = build_leaderboard(
+        scenario_names=args.scenarios, agents=specs, baselines=baselines,
+        n_traces=args.traces, base_seed=args.base_seed, workers=args.workers,
+        cache=cache, store=store, seed=args.seed,
+    )
+    print(result.to_text())
+    print(f"\npolicy store: {store.stats['trained']} trained, "
+          f"{store.stats['hits']} reused -> {store.root}")
+    if cache is not None:
+        print(f"result cache: {cache.stats['hits']} hits, "
+              f"{cache.stats['misses']} misses -> {cache.root}")
+    for path in args.out or []:
+        text = result.to_markdown() if path.endswith(".md") \
+            else result.to_json()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"leaderboard -> {path}")
     return 0
 
 
@@ -516,6 +572,44 @@ def build_parser() -> argparse.ArgumentParser:
                             "least-recently-used entries are evicted")
     sweep.add_argument("--out", help="save rows as JSON (ResultStore format)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    lb = sub.add_parser(
+        "leaderboard",
+        help="train each agent once per scenario; rank every policy and "
+             "baseline on every scenario (cross-scenario matrix)")
+    lb.add_argument("--scenarios", nargs="+",
+                    default=["quick", "swf-fixture", "columnar-fixture"],
+                    help="registry names (or trace-container paths)")
+    lb.add_argument("--agents", default="ppo",
+                    help="comma-separated trainable algorithms "
+                         "(reinforce, a2c, ppo)")
+    lb.add_argument("--baselines", default="edf,tetris,greedy-elastic,fifo",
+                    help="comma-separated heuristic anchors ('' for none)")
+    lb.add_argument("--train-iterations", type=int, default=40,
+                    help="training iterations per (scenario, agent)")
+    lb.add_argument("--train-traces", type=int, default=8,
+                    help="fixed training traces per scenario")
+    lb.add_argument("--val-traces", type=int, default=3,
+                    help="validation traces for best-checkpoint selection")
+    lb.add_argument("--no-warm-start", action="store_true",
+                    help="skip the behavior-cloning warm start")
+    lb.add_argument("--traces", type=int, default=3,
+                    help="paired evaluation trace seeds per scenario")
+    lb.add_argument("--base-seed", type=int, default=1000)
+    lb.add_argument("--seed", type=int, default=0,
+                    help="training seed")
+    lb.add_argument("--workers", type=int, default=1,
+                    help="process-pool shards for evaluation cells")
+    lb.add_argument("--no-cache", action="store_true",
+                    help="recompute every evaluation cell")
+    lb.add_argument("--cache-dir", default=None,
+                    help="result-cache directory (default .repro-cache)")
+    lb.add_argument("--policy-dir", default=None,
+                    help="policy-store directory (default .repro-policies)")
+    lb.add_argument("--out", action="append", default=None,
+                    help="write the leaderboard artifact (*.json or *.md; "
+                         "repeatable)")
+    lb.set_defaults(func=_cmd_leaderboard)
 
     train = sub.add_parser("train", help="train a DRL policy and save it")
     train.add_argument("--load", type=float, default=0.7)

@@ -19,6 +19,13 @@ from repro.harness.tables import format_table, rows_to_csv
 from repro.harness.plots import ascii_line_plot
 from repro.harness.sweeps import sweep_schedulers
 from repro.harness.cache import ResultCache, fingerprint
+from repro.harness.leaderboard import (
+    AgentSpec,
+    LeaderboardResult,
+    PolicyStore,
+    StoredPolicyFactory,
+    build_leaderboard,
+)
 from repro.harness.parallel import (
     BaselineFactory,
     CellFailure,
@@ -42,6 +49,8 @@ __all__ = [
     "ascii_line_plot",
     "sweep_schedulers",
     "ResultCache", "fingerprint",
+    "AgentSpec", "LeaderboardResult", "PolicyStore", "StoredPolicyFactory",
+    "build_leaderboard",
     "BaselineFactory", "CellFailure", "EvalCell", "run_cells",
     "MeanCI", "bootstrap_ci", "paired_permutation_test", "summarize",
     "experiments",

@@ -45,7 +45,7 @@ __all__ = [
     "e07_utilization_timeline", "e08_reward_ablation", "e09_generalization",
     "e10_scalability", "e11_speedup_sensitivity", "e12_algorithms",
     "e13_fault_robustness", "e14_energy", "e15_dag_workloads",
-    "e16_extended_baselines", "e17_learned_admission",
+    "e16_extended_baselines", "e17_learned_admission", "e18_leaderboard",
 ]
 
 #: Reward weights used throughout the suite: the miss term dominates (the
@@ -1006,3 +1006,50 @@ def e17_learned_admission(
     text = format_table(rows, title=f"E17: learned admission control (load={load})")
     return ExperimentOutput("e17_learned_admission", rows, {}, text,
                             time.time() - t0)
+
+
+# ---------------------------------------------------------------------------
+# E18 — trained-policy leaderboard over the scenario registry (table)
+# ---------------------------------------------------------------------------
+def e18_leaderboard(
+    scenarios: Sequence[str] = ("quick", "swf-fixture", "columnar-fixture"),
+    agents: Sequence[str] = ("ppo",),
+    baselines: Sequence[str] = ("edf", "tetris", "greedy-elastic", "fifo"),
+    train_iterations: int = 40,
+    n_traces: int = 3,
+    seed: int = 0,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    policy_dir: Optional[str] = None,
+) -> ExperimentOutput:
+    """Train each agent once per scenario; rank everything everywhere.
+
+    The cross-scenario generalization leaderboard
+    (:mod:`repro.harness.leaderboard`): trained policies are persisted
+    to the content-addressed policy store, evaluation cells are sharded
+    over ``workers`` and memoized in the result cache, and the rows are
+    byte-identical for any worker count or cache state. This is the
+    entry point the nightly CI job and ``examples/leaderboard_study.py``
+    drive; the CLI's ``leaderboard`` subcommand adds artifact output.
+    """
+    from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
+    from repro.harness.leaderboard import (
+        DEFAULT_POLICY_DIR,
+        PolicyStore,
+        build_leaderboard,
+    )
+
+    t0 = time.time()
+    result = build_leaderboard(
+        scenario_names=scenarios,
+        agents=agents,
+        baselines=baselines,
+        n_traces=n_traces,
+        workers=workers,
+        cache=ResultCache(cache_dir if cache_dir else DEFAULT_CACHE_DIR),
+        store=PolicyStore(policy_dir if policy_dir else DEFAULT_POLICY_DIR),
+        train_iterations=train_iterations,
+        seed=seed,
+    )
+    return ExperimentOutput("e18_leaderboard", result.rows,
+                            {}, result.to_text(), time.time() - t0)

@@ -30,6 +30,7 @@ experiment code add entries.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -53,7 +54,14 @@ __all__ = [
     "register_scenario",
     "get_scenario",
     "list_scenarios",
+    "TRACE_DIR_ENV",
 ]
+
+#: Environment variable attaching registry-style names to local trace
+#: archives: ``get_scenario("kit-fh2")`` resolves
+#: ``$REPRO_TRACE_DIR/kit-fh2[.json[.gz]|.jsonl[.gz]|/]`` when the name
+#: is not a registered scenario.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
 
 
 def _default_platforms() -> List[Platform]:
@@ -280,6 +288,20 @@ def list_scenarios() -> Dict[str, str]:
     return {name: desc for name, (_, desc) in sorted(_REGISTRY.items())}
 
 
+def _trace_dir_candidates(name: str) -> Tuple[Optional[str], List[str]]:
+    """Paths ``$REPRO_TRACE_DIR`` could attach ``name`` to, in order.
+
+    Returns ``(trace_dir, candidates)``; ``trace_dir`` is ``None`` when
+    the environment variable is unset or empty.
+    """
+    root = os.environ.get(TRACE_DIR_ENV, "").strip()
+    if not root:
+        return None, []
+    base = os.path.join(root, name)
+    suffixes = ("", ".json", ".json.gz", ".jsonl", ".jsonl.gz")
+    return root, [base + suffix for suffix in suffixes]
+
+
 def get_scenario(name: str, **overrides) -> Scenario:
     """Resolve a scenario by registry name or trace-container path.
 
@@ -291,6 +313,13 @@ def get_scenario(name: str, **overrides) -> Scenario:
     job payload, so the same trace yields the same cache key no matter
     which container format (or import path — streamed or materialized)
     produced it.
+
+    With ``REPRO_TRACE_DIR`` set, any other name is treated as a local
+    archive attachment: ``<dir>/<name>`` with each container suffix (or
+    as a shard directory) is tried in order, so imported archives become
+    addressable by bare name — ``--scenario kit-fh2`` — without
+    registering code. A set-but-unresolvable name is an explicit error
+    naming every path that was tried, never a silent fallback.
     """
     from repro.workload.traces import looks_like_trace_path
 
@@ -299,10 +328,24 @@ def get_scenario(name: str, **overrides) -> Scenario:
         return builder(**overrides)
     if looks_like_trace_path(str(name)):
         return FixedTraceScenario.from_file(name, **overrides)
+    trace_dir, candidates = _trace_dir_candidates(str(name))
+    if trace_dir is not None:
+        for path in candidates:
+            # A readable container only: a suffixed file, or a bare name
+            # that is a shard directory (MANIFEST.json present).
+            if looks_like_trace_path(path) and \
+                    (os.path.isfile(path) or os.path.isdir(path)):
+                return FixedTraceScenario.from_file(path, **overrides)
+        raise KeyError(
+            f"unknown scenario {name!r}: not in the registry "
+            f"({sorted(_REGISTRY)}) and no trace container found under "
+            f"{TRACE_DIR_ENV}={trace_dir!r} (tried "
+            f"{', '.join(os.path.basename(c) or c for c in candidates)})")
     raise KeyError(
-        f"unknown scenario {name!r}; choose from {sorted(_REGISTRY)} "
-        "or pass a saved trace container (*.json[.gz], *.jsonl[.gz], "
-        "or a shard directory)")
+        f"unknown scenario {name!r}; choose from {sorted(_REGISTRY)}, "
+        "pass a saved trace container (*.json[.gz], *.jsonl[.gz], or a "
+        f"shard directory), or set {TRACE_DIR_ENV} to attach names to "
+        "local trace archives")
 
 
 # --- built-in entries -----------------------------------------------------

@@ -29,6 +29,7 @@ from repro.rl.schedules import (
     PiecewiseSchedule,
     Schedule,
 )
+from repro.rl.checkpoint import load_agent, save_agent
 from repro.rl.reinforce import ReinforceAgent, ReinforceConfig
 from repro.rl.a2c import A2CAgent, A2CConfig
 from repro.rl.ppo import PPOAgent, PPOConfig
@@ -47,4 +48,5 @@ __all__ = [
     "A2CAgent", "A2CConfig",
     "PPOAgent", "PPOConfig",
     "DQNAgent", "DQNConfig", "DuelingQNet",
+    "save_agent", "load_agent",
 ]

@@ -1,0 +1,164 @@
+"""Whole-agent checkpointing: weights + config + normalizer state.
+
+:mod:`repro.nn.serialize` round-trips a single network; this module
+round-trips a whole *agent* — every network it owns (policy, value
+function, Q-network and its target), the DQN schedule counters that
+drive epsilon/target-sync, an attached observation normalizer
+(:class:`~repro.rl.running_norm.RunningMeanStd` under ``agent.obs_norm``,
+when present), and the algorithm config — into one ``.npz`` file.
+
+The config travels with the weights so a checkpoint can never be loaded
+into a structurally different agent: :func:`load_agent` refuses on any
+mismatch of agent class or config instead of silently reinterpreting
+arrays. Optimizer moments are deliberately *not* part of the format —
+a checkpoint captures the decision function (and the annealing state
+that shapes future exploration), not a mid-gradient-step snapshot.
+
+All four agents of :mod:`repro.core.training`'s registry (reinforce,
+a2c, ppo, dqn) round-trip exactly: float64 arrays are stored verbatim,
+so a reloaded agent's greedy decisions are bit-identical to the saved
+one's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, List
+
+import numpy as np
+
+from repro.rl.running_norm import RunningMeanStd
+
+__all__ = ["save_agent", "load_agent"]
+
+#: Bump on any incompatible change to the checkpoint layout.
+_SCHEMA_VERSION = 1
+
+#: Attribute name -> checkpoint net label, in a fixed order. Each listed
+#: attribute (when present and non-None) must expose ``params()``.
+_NET_ATTRS = ("policy", "value_fn", "q_net", "target_net")
+
+#: DQN schedule counters; restored so epsilon annealing and target-sync
+#: cadence continue where the saved agent left off.
+_COUNTER_ATTRS = ("total_env_steps", "total_grad_steps")
+
+
+def _nets(agent) -> Dict[str, object]:
+    """The agent's parameterized networks, keyed by attribute name."""
+    nets: Dict[str, object] = {}
+    for attr in _NET_ATTRS:
+        net = getattr(agent, attr, None)
+        if net is not None:
+            nets[attr] = net
+    if not nets:
+        raise ValueError(
+            f"{type(agent).__name__} exposes none of {_NET_ATTRS}; "
+            "nothing to checkpoint")
+    return nets
+
+
+def _config_json(config) -> str:
+    """Canonical JSON of an algorithm config dataclass (order-stable)."""
+    if not dataclasses.is_dataclass(config):
+        raise ValueError(
+            f"agent config must be a dataclass, got {type(config).__name__}")
+    return json.dumps(dataclasses.asdict(config), sort_keys=True)
+
+
+def save_agent(agent, path: str) -> None:
+    """Write ``agent`` (any of the four algorithms) to an ``.npz`` file.
+
+    The file holds every network's parameter arrays (``<net>_<i>`` in
+    layer order), the DQN counters, the ``obs_norm`` normalizer state
+    when the agent carries one, and a ``meta`` JSON record naming the
+    agent class and its full config.
+    """
+    nets = _nets(agent)
+    arrays: Dict[str, np.ndarray] = {}
+    net_sizes: Dict[str, int] = {}
+    for name, net in nets.items():
+        params: List[np.ndarray] = net.params()
+        net_sizes[name] = len(params)
+        for i, p in enumerate(params):
+            arrays[f"{name}_{i}"] = p
+    counters = {attr: int(getattr(agent, attr))
+                for attr in _COUNTER_ATTRS if hasattr(agent, attr)}
+    norm = getattr(agent, "obs_norm", None)
+    norm_count = None
+    if norm is not None:
+        state = norm.state_dict()
+        arrays["obs_norm_mean"] = state["mean"]
+        arrays["obs_norm_var"] = state["var"]
+        norm_count = state["count"]
+    meta = {
+        "schema": _SCHEMA_VERSION,
+        "agent": type(agent).__name__,
+        "config_class": type(agent.config).__name__,
+        "config": json.loads(_config_json(agent.config)),
+        "nets": net_sizes,
+        "counters": counters,
+        "obs_norm_count": norm_count,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    # Write through a file object: np.savez appends ".npz" to bare
+    # string paths, which would break the save-path == load-path
+    # symmetry for suffixless checkpoint names.
+    with open(path, "wb") as fh:
+        np.savez(fh, meta=np.array(json.dumps(meta, sort_keys=True)), **arrays)
+
+
+def load_agent(agent, path: str) -> None:
+    """Restore a checkpoint written by :func:`save_agent` into ``agent``.
+
+    ``agent`` must be a freshly constructed instance of the same class
+    with the same config (construct it with any RNG — every loaded array
+    overwrites the random init). Raises ``ValueError`` on any structural
+    mismatch: wrong agent class, different config, or a parameter count /
+    shape that does not line up.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(data["meta"].item())
+        if meta.get("schema") != _SCHEMA_VERSION:
+            raise ValueError(
+                f"checkpoint schema {meta.get('schema')!r} != "
+                f"{_SCHEMA_VERSION} (re-save with this version)")
+        if meta["agent"] != type(agent).__name__:
+            raise ValueError(
+                f"checkpoint holds a {meta['agent']}, not a "
+                f"{type(agent).__name__}")
+        want = json.dumps(meta["config"], sort_keys=True)
+        have = _config_json(agent.config)
+        if want != have:
+            raise ValueError(
+                "checkpoint config does not match the agent's: "
+                f"saved {want} vs constructed {have}")
+        nets = _nets(agent)
+        if set(meta["nets"]) != set(nets):
+            raise ValueError(
+                f"checkpoint nets {sorted(meta['nets'])} != agent nets "
+                f"{sorted(nets)}")
+        for name, net in nets.items():
+            params = net.params()
+            if meta["nets"][name] != len(params):
+                raise ValueError(
+                    f"{name}: checkpoint has {meta['nets'][name]} arrays, "
+                    f"agent has {len(params)}")
+            for i, p in enumerate(params):
+                loaded = data[f"{name}_{i}"]
+                if loaded.shape != p.shape:
+                    raise ValueError(
+                        f"{name}_{i}: shape {loaded.shape} vs {p.shape}")
+                p[...] = loaded
+        for attr, value in meta["counters"].items():
+            setattr(agent, attr, int(value))
+        if meta["obs_norm_count"] is not None:
+            norm = getattr(agent, "obs_norm", None)
+            if norm is None:
+                norm = RunningMeanStd(data["obs_norm_mean"].shape)
+                agent.obs_norm = norm
+            norm.load_state({"mean": data["obs_norm_mean"],
+                             "var": data["obs_norm_var"],
+                             "count": meta["obs_norm_count"]})

@@ -43,3 +43,21 @@ class RunningMeanStd:
         """Standardize ``x`` with the running stats, clipped to ``±clip``."""
         z = (np.asarray(x, dtype=np.float64) - self.mean) / np.sqrt(self.var + 1e-8)
         return np.clip(z, -clip, clip)
+
+    def state_dict(self) -> dict:
+        """The full normalizer state as plain arrays (checkpointable)."""
+        return {"mean": np.array(self.mean, dtype=np.float64, copy=True),
+                "var": np.array(self.var, dtype=np.float64, copy=True),
+                "count": float(self.count)}
+
+    def load_state(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict` (exact round-trip)."""
+        mean = np.asarray(state["mean"], dtype=np.float64)
+        var = np.asarray(state["var"], dtype=np.float64)
+        if mean.shape != np.shape(self.mean) or var.shape != np.shape(self.var):
+            raise ValueError(
+                f"normalizer shape mismatch: checkpoint {mean.shape}, "
+                f"instance {np.shape(self.mean)}")
+        self.mean = mean.copy()
+        self.var = var.copy()
+        self.count = float(state["count"])

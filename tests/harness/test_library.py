@@ -300,3 +300,72 @@ class TestRosterBothEngines:
                                     scenario.platforms, [jobs],
                                     max_ticks=scenario.max_ticks)[0]
         assert report.num_jobs == len(jobs)
+
+
+class TestTraceDirEnv:
+    """REPRO_TRACE_DIR attaches registry-style names to local archives."""
+
+    @pytest.fixture
+    def trace_dir(self, tmp_path):
+        scenario = small_trace_scenario()
+        save_trace(scenario.trace(1000), str(tmp_path / "myarchive.jsonl.gz"))
+        save_trace(scenario.trace(1000), str(tmp_path / "plainjson.json"))
+        return tmp_path
+
+    def test_name_attaches_to_container(self, trace_dir, monkeypatch):
+        from repro.harness.library import TRACE_DIR_ENV
+
+        monkeypatch.setenv(TRACE_DIR_ENV, str(trace_dir))
+        for name in ("myarchive", "plainjson"):
+            scenario = get_scenario(name)
+            assert isinstance(scenario, FixedTraceScenario)
+            assert scenario.source.startswith(str(trace_dir))
+        # Registry names still win over the attachment directory.
+        assert get_scenario("quick").load == 0.7
+
+    def test_attached_and_direct_path_share_fingerprint(self, trace_dir,
+                                                        monkeypatch):
+        from repro.harness.library import TRACE_DIR_ENV
+
+        direct = get_scenario(str(trace_dir / "myarchive.jsonl.gz"))
+        monkeypatch.setenv(TRACE_DIR_ENV, str(trace_dir))
+        attached = get_scenario("myarchive")
+        assert fingerprint(attached) == fingerprint(direct)
+
+    def test_shard_directory_attaches_by_bare_name(self, trace_dir,
+                                                   monkeypatch):
+        from repro.harness.library import TRACE_DIR_ENV
+        from repro.workload.traces import save_trace_shards
+
+        scenario = small_trace_scenario()
+        save_trace_shards(scenario.trace(1000), str(trace_dir / "sharded"),
+                          jobs_per_shard=8)
+        monkeypatch.setenv(TRACE_DIR_ENV, str(trace_dir))
+        assert isinstance(get_scenario("sharded"), FixedTraceScenario)
+
+    def test_missing_archive_is_a_clear_error(self, trace_dir, monkeypatch):
+        from repro.harness.library import TRACE_DIR_ENV
+
+        monkeypatch.setenv(TRACE_DIR_ENV, str(trace_dir))
+        with pytest.raises(KeyError) as err:
+            get_scenario("nonexistent-archive")
+        message = str(err.value)
+        assert TRACE_DIR_ENV in message
+        assert "nonexistent-archive" in message
+        assert str(trace_dir) in message
+
+    def test_unset_env_mentions_the_hook(self, monkeypatch):
+        from repro.harness.library import TRACE_DIR_ENV
+
+        monkeypatch.delenv(TRACE_DIR_ENV, raising=False)
+        with pytest.raises(KeyError, match=TRACE_DIR_ENV):
+            get_scenario("nonexistent-archive")
+
+    def test_plain_directory_without_manifest_not_attached(self, trace_dir,
+                                                           monkeypatch):
+        from repro.harness.library import TRACE_DIR_ENV
+
+        (trace_dir / "notatrace").mkdir()
+        monkeypatch.setenv(TRACE_DIR_ENV, str(trace_dir))
+        with pytest.raises(KeyError, match="notatrace"):
+            get_scenario("notatrace")

@@ -47,6 +47,12 @@ class TestFastExamples:
         assert "diurnal overload" in out
         assert "ac(edf)" in out
 
+    def test_leaderboard_study(self):
+        out = run_example("leaderboard_study.py")
+        assert "leaderboard (miss_rate)" in out
+        assert "ppo@quick" in out
+        assert "trained 0, cache misses 0, artifact byte-identical: True" in out
+
 
 @pytest.mark.slow
 class TestTrainingExamples:
