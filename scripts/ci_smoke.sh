@@ -5,7 +5,8 @@
 #     bash scripts/ci_smoke.sh sweep trace     # a subset, in order
 #     bash scripts/ci_smoke.sh leaderboard
 #
-# Steps: sweep, trace, stream, leaderboard, bench, nightly-leaderboard.
+# Steps: sweep, trace, stream, leaderboard, parity, bench,
+# nightly-leaderboard.
 # Each step is exactly what .github/workflows/ci.yml runs, so a failure
 # reproduces locally with the same command. Scratch state lives in
 # .ci-cache/ (result cache), .ci-policies/ (policy store), and
@@ -100,6 +101,15 @@ step_leaderboard() {
          "rows byte-identical"
 }
 
+step_parity() {
+    # Scaled-down (128-unit, 10k-job) SoA-vs-object kernel parity gate:
+    # the vectorized column paths must be bit-identical to the per-object
+    # fallbacks on the same deterministic trace (event log, utilization
+    # series, MetricsReport). Catches drift between the two compute
+    # paths on every PR without paying for the full benchmark.
+    python benchmarks/bench_micro.py --parity-check
+}
+
 step_bench() {
     python benchmarks/bench_micro.py --skip-parallel
 }
@@ -121,15 +131,16 @@ run_step() {
         trace)               step_trace ;;
         stream)              step_stream ;;
         leaderboard)         step_leaderboard ;;
+        parity)              step_parity ;;
         bench)               step_bench ;;
         nightly-leaderboard) step_nightly_leaderboard ;;
-        *) echo "unknown step '$1' (sweep|trace|stream|leaderboard|bench|" \
-                "nightly-leaderboard)" >&2; exit 2 ;;
+        *) echo "unknown step '$1' (sweep|trace|stream|leaderboard|parity|" \
+                "bench|nightly-leaderboard)" >&2; exit 2 ;;
     esac
 }
 
 if [ "$#" -eq 0 ]; then
-    set -- sweep trace stream leaderboard bench
+    set -- sweep trace stream leaderboard parity bench
 fi
 for step in "$@"; do
     echo "=== ci_smoke: $step ==="

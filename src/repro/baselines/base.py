@@ -99,9 +99,10 @@ class HeuristicScheduler:
 
     def choose_platform(self, sim: "Simulation", job: Job) -> Optional[str]:
         """Pick a platform with room for at least ``min_parallelism``."""
+        min_par = job.min_parallelism
         candidates = [
             p for p in sim.cluster.platform_names
-            if p in job.affinity and sim.cluster.free_units(p) >= job.min_parallelism
+            if p in job.affinity and sim.cluster.free_units(p) >= min_par
         ]
         if not candidates:
             return None
@@ -109,7 +110,7 @@ class HeuristicScheduler:
             return candidates[0]
         return max(
             candidates,
-            key=lambda p: self.effective_rate(sim, job, p, job.min_parallelism),
+            key=lambda p: self.effective_rate(sim, job, p, min_par),
         )
 
     def choose_parallelism(self, sim: "Simulation", job: Job, platform: str) -> Optional[int]:

@@ -158,17 +158,7 @@ def train_scheduler(
 
 def clone_job(j: Job) -> Job:
     """A fresh PENDING copy of a trace job (runtime state reset)."""
-    return Job(
-        arrival_time=j.arrival_time,
-        work=j.work,
-        deadline=j.deadline,
-        min_parallelism=j.min_parallelism,
-        max_parallelism=j.max_parallelism,
-        speedup_model=j.speedup_model,
-        affinity=dict(j.affinity),
-        job_class=j.job_class,
-        weight=j.weight,
-    )
+    return j.clone_pending()
 
 
 def evaluate_scheduler_runs(

@@ -101,8 +101,8 @@ class DAGSimulation(Simulation):
                 if child in self._released[graph_id]:
                     continue
                 child_job = self._make_stage_job(graph, child, self.now)
+                self._register_job(child_job)  # adopt into the SoA tables
                 self.pending.append(child_job)
-                self._all_jobs.append(child_job)
         return finished
 
     # --- graph-level outcomes ------------------------------------------------------

@@ -28,6 +28,8 @@ from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
 import numpy as np
 
+from repro.core.views import slot_views
+
 if TYPE_CHECKING:  # pragma: no cover — avoids a circular import at runtime
     from repro.core.scheduler_env import SchedulerEnv
 
@@ -117,11 +119,12 @@ class VecEnv:
     # --- internals ------------------------------------------------------------
     def _view_for(self, i: int) -> tuple:
         """The (queue, running) slot views of env ``i``, computed once per
-        state and shared between observation encoding and action masking."""
+        state and shared between observation encoding and action masking.
+        Both views sort via the SoA deadline/slack columns when the
+        simulation carries state tables, so this is a lexsort per state,
+        not a per-job Python key function."""
         view = self._views[i]
         if view is None:
-            from repro.core.views import slot_views
-
             cfg = self.envs[i].config
             view = slot_views(self.envs[i].sim, cfg.queue_slots, cfg.running_slots)
             self._views[i] = view

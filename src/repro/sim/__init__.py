@@ -27,9 +27,14 @@ from repro.sim.faults import FaultInjector, FaultModel, FaultStats
 from repro.sim.energy import EnergyMeter, PowerModel
 from repro.sim.simulation import Simulation, SimulationConfig
 from repro.sim.kernel import EventKernel, KernelStats, WakeupKind
+from repro.sim.soa import (
+    StateTables, force_vector, object_path, use_vector, vector_enabled,
+)
 
 __all__ = [
     "EventKernel", "KernelStats", "WakeupKind",
+    "StateTables", "object_path", "vector_enabled", "use_vector",
+    "force_vector",
     "SpeedupModel", "LinearSpeedup", "AmdahlSpeedup", "PowerLawSpeedup",
     "Job", "JobState", "Platform", "Cluster", "Allocation",
     "Event", "EventKind", "EventLog",

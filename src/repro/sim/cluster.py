@@ -18,9 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
+from repro.sim import soa
 from repro.sim.events import Event, EventKind, EventLog
 from repro.sim.job import Job, JobState
 from repro.sim.platform import Platform
+from repro.sim.soa import StateTables
 
 __all__ = ["Allocation", "Cluster"]
 
@@ -44,8 +48,10 @@ class Cluster:
         if len(set(names)) != len(names):
             raise ValueError("duplicate platform names")
         self.platforms: Dict[str, Platform] = {p.name: p for p in platforms}
-        self._used: Dict[str, int] = {p.name: 0 for p in platforms}
-        self._offline: Dict[str, int] = {p.name: 0 for p in platforms}
+        # All unit bookkeeping lives in the SoA tables; the dict-shaped
+        # accessors below are views over its platform arrays.
+        self.tables = StateTables(list(self.platforms.values()))
+        self._pidx = self.tables.pindex
         self._allocations: Dict[int, Allocation] = {}
         self.log = log if log is not None else EventLog()
 
@@ -61,38 +67,38 @@ class Cluster:
 
     def used_units(self, platform: str) -> int:
         """Units currently allocated on a platform."""
-        return self._used[platform]
+        return int(self.tables.p_used[self._pidx[platform]])
 
     def free_units(self, platform: str) -> int:
         """Units currently free on a platform (excludes offline units)."""
-        return (
-            self.platforms[platform].capacity
-            - self._used[platform]
-            - self._offline[platform]
-        )
+        t = self.tables
+        i = self._pidx[platform]
+        return int(t.p_capacity[i] - t.p_used[i] - t.p_offline[i])
 
     def offline_units(self, platform: str) -> int:
         """Units currently failed/offline on a platform."""
-        return self._offline[platform]
+        return int(self.tables.p_offline[self._pidx[platform]])
 
     def availability(self, platform: Optional[str] = None) -> float:
         """Fraction of units online, overall or per platform."""
+        t = self.tables
         if platform is not None:
             cap = self.platforms[platform].capacity
-            return (cap - self._offline[platform]) / cap
+            return (cap - int(t.p_offline[self._pidx[platform]])) / cap
         total = self.total_capacity()
-        return (total - sum(self._offline.values())) / total
+        return (total - t.offline_total) / total
 
     def total_capacity(self) -> int:
         """Sum of all platform capacities."""
-        return sum(p.capacity for p in self.platforms.values())
+        return self.tables.capacity_total
 
     def utilization(self, platform: Optional[str] = None) -> float:
         """Fraction of units in use, overall or per platform."""
+        t = self.tables
         if platform is not None:
-            return self._used[platform] / self.platforms[platform].capacity
+            return int(t.p_used[self._pidx[platform]]) / self.platforms[platform].capacity
         total = self.total_capacity()
-        return sum(self._used.values()) / total
+        return t.used_total / total
 
     def running_jobs(self) -> List[Job]:
         """Jobs currently holding an allocation, in allocation order."""
@@ -134,13 +140,23 @@ class Cluster:
             raise ValueError(
                 f"platform {platform!r} has {self.free_units(platform)} free units, need {k}"
             )
-        self._used[platform] += k
+        t = self.tables
+        if job._tables is not t:
+            t.adopt(job)
+        pi = self._pidx[platform]
+        t.use_units(pi, k)
         alloc = Allocation(job=job, platform=platform, parallelism=k)
         self._allocations[job.job_id] = alloc
-        job.state = JobState.RUNNING
+        slot = job._slot
+        # Direct column stores (the job is adopted above): PENDING ->
+        # RUNNING keeps the live set, so no deadline_dirty is needed.
+        t.state[slot] = soa.RUNNING
+        t.parallelism[slot] = k
         job.platform = platform
-        job.parallelism = k
         job.start_time = now
+        t.platform_idx[slot] = pi
+        t.rate[slot] = job.rate_on(platform, k, self.platforms[platform].base_speed)
+        t.add_running(slot)
         self.log.record(Event(now, EventKind.START, job.job_id, platform, k))
         return alloc
 
@@ -156,10 +172,11 @@ class Cluster:
             )
         if self.free_units(alloc.platform) < dk:
             raise ValueError(f"platform {alloc.platform!r} lacks {dk} free units")
-        self._used[alloc.platform] += dk
+        self.tables.use_units(self._pidx[alloc.platform], dk)
         alloc.parallelism = new_k
         job.parallelism = new_k
         job.grow_count += 1
+        self._refresh_rate(job, alloc)
         self.log.record(Event(now, EventKind.GROW, job.job_id, alloc.platform, new_k))
         return new_k
 
@@ -173,10 +190,11 @@ class Cluster:
             raise ValueError(
                 f"shrink to {new_k} below min_parallelism {job.min_parallelism}"
             )
-        self._used[alloc.platform] -= dk
+        self.tables.use_units(self._pidx[alloc.platform], -dk)
         alloc.parallelism = new_k
         job.parallelism = new_k
         job.shrink_count += 1
+        self._refresh_rate(job, alloc)
         self.log.record(Event(now, EventKind.SHRINK, job.job_id, alloc.platform, new_k))
         return new_k
 
@@ -215,9 +233,9 @@ class Cluster:
                 f"platform {platform!r} has only {self.free_units(platform)} "
                 f"free units; cannot take {n} offline"
             )
-        self._offline[platform] += n
+        self.tables.offline_delta(self._pidx[platform], n)
         self.log.record(Event(now, EventKind.FAIL, None, platform, n))
-        return self._offline[platform]
+        return self.offline_units(platform)
 
     def bring_online(self, platform: str, n: int = 1, now: int = 0) -> int:
         """Repair ``n`` offline units of a platform; returns the new offline count."""
@@ -225,14 +243,14 @@ class Cluster:
             raise ValueError(f"unknown platform {platform!r}")
         if n <= 0:
             raise ValueError("n must be positive")
-        if self._offline[platform] < n:
+        if self.offline_units(platform) < n:
             raise ValueError(
-                f"platform {platform!r} has only {self._offline[platform]} "
+                f"platform {platform!r} has only {self.offline_units(platform)} "
                 f"offline units; cannot repair {n}"
             )
-        self._offline[platform] -= n
+        self.tables.offline_delta(self._pidx[platform], -n)
         self.log.record(Event(now, EventKind.REPAIR, None, platform, n))
-        return self._offline[platform]
+        return self.offline_units(platform)
 
     def preempt(self, job: Job, now: int = 0) -> None:
         """Evict a running job back to the pending state.
@@ -243,7 +261,8 @@ class Cluster:
         and the fault injector do so).
         """
         alloc = self._require_running(job)
-        self._used[alloc.platform] -= alloc.parallelism
+        t = self.tables
+        t.use_units(self._pidx[alloc.platform], -alloc.parallelism)
         del self._allocations[job.job_id]
         self.log.record(
             Event(now, EventKind.PREEMPT, job.job_id, alloc.platform, alloc.parallelism)
@@ -252,6 +271,10 @@ class Cluster:
         job.platform = None
         job.parallelism = 0
         job.preempt_count += 1
+        slot = job._slot
+        t.remove_running(slot)
+        t.rate[slot] = 0.0
+        t.platform_idx[slot] = -1
 
     def can_migrate(self, job: Job, platform: str, k: int) -> bool:
         """Whether ``migrate`` would succeed."""
@@ -290,23 +313,30 @@ class Cluster:
             )
         if cost < 0:
             raise ValueError("cost must be non-negative")
-        self._used[alloc.platform] -= alloc.parallelism
-        self._used[platform] += k
+        t = self.tables
+        t.use_units(self._pidx[alloc.platform], -alloc.parallelism)
+        t.use_units(self._pidx[platform], k)
         alloc.platform = platform
         alloc.parallelism = k
         job.platform = platform
         job.parallelism = k
         job.progress = max(0.0, job.progress - cost)
         job.migrate_count += 1
+        t.platform_idx[job._slot] = self._pidx[platform]
+        self._refresh_rate(job, alloc)
         self.log.record(Event(now, EventKind.MIGRATE, job.job_id, platform, k))
         return alloc
 
     def release(self, job: Job, now: int = 0, kind: EventKind = EventKind.FINISH) -> None:
         """Free a job's allocation (on finish or drop)."""
         alloc = self._require_running(job)
-        self._used[alloc.platform] -= alloc.parallelism
+        t = self.tables
+        t.use_units(self._pidx[alloc.platform], -alloc.parallelism)
         del self._allocations[job.job_id]
-        job.parallelism = 0
+        slot = job._slot
+        t.parallelism[slot] = 0
+        t.remove_running(slot)
+        t.rate[slot] = 0.0
         self.log.record(Event(now, EventKind.FINISH if kind is EventKind.FINISH else kind,
                               job.job_id, alloc.platform))
 
@@ -316,7 +346,65 @@ class Cluster:
         Returns the jobs that completed during this tick (their
         ``finish_time`` is set to ``now + 1``, i.e. the end of the tick)
         with allocations released. Completion order is allocation order.
+
+        The column path below is bit-identical to the object loop: the
+        per-slot ``rate`` column is maintained to equal
+        ``rate_on(platform, parallelism, base_speed)`` at every
+        reconfiguration, elementwise float64 adds match scalar adds, and
+        finishers are released in allocation (``alloc_seq``) order.
         """
+        t = self.tables
+        if not soa.vector_enabled():
+            return self._advance_object(now)
+        if not soa.use_vector(t.run_count):
+            return self._advance_scalar(now)
+        slots = t.running_slots()
+        t.progress[slots] += t.rate[slots]
+        done = t.progress[slots] >= t.work[slots] - 1e-9
+        if not done.any():
+            return []
+        done_slots = slots[done]
+        done_slots = done_slots[np.argsort(t.alloc_seq[done_slots])]
+        finished: List[Job] = []
+        for s in done_slots.tolist():
+            t.progress[s] = t.work[s]
+            t.state[s] = soa.FINISHED
+            t.finish[s] = now + 1
+            finished.append(t.jobs[s])
+        for job in finished:
+            self.release(job, now=now + 1, kind=EventKind.FINISH)
+        return finished
+
+    def _advance_scalar(self, now: int) -> List[Job]:
+        """Scalar-column advance for running sets below the vector cutoff.
+
+        Same arithmetic as ``_advance_object`` (the ``rate`` column equals
+        ``rate_on(...)`` at every reconfiguration) but reads/writes the
+        columns directly, skipping both numpy's fixed per-reduction
+        overhead and the per-field view descriptors.
+        """
+        t = self.tables
+        finished: List[Job] = []
+        # Releases happen after the loop, so iterating the live dict
+        # view is safe (unlike ``_advance_object``, kept verbatim).
+        for alloc in self._allocations.values():
+            job = alloc.job
+            s = job._slot
+            prog = t.progress.item(s) + t.rate.item(s)
+            work = t.work.item(s)
+            if prog >= work - 1e-9:
+                t.progress[s] = work
+                t.state[s] = soa.FINISHED
+                t.finish[s] = now + 1
+                finished.append(job)
+            else:
+                t.progress[s] = prog
+        for job in finished:
+            self.release(job, now=now + 1, kind=EventKind.FINISH)
+        return finished
+
+    def _advance_object(self, now: int) -> List[Job]:
+        """Per-object advance loop (the pre-SoA compute path)."""
         finished: List[Job] = []
         for alloc in list(self._allocations.values()):
             job = alloc.job
@@ -333,6 +421,11 @@ class Cluster:
         return finished
 
     # --- internals -------------------------------------------------------------
+    def _refresh_rate(self, job: Job, alloc: Allocation) -> None:
+        base = self.platforms[alloc.platform].base_speed
+        self.tables.rate[job._slot] = job.rate_on(
+            alloc.platform, alloc.parallelism, base)
+
     def _require_running(self, job: Job) -> Allocation:
         alloc = self._allocations.get(job.job_id)
         if alloc is None:

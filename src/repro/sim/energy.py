@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
+import numpy as np
+
 __all__ = ["PowerModel", "EnergyMeter"]
 
 from repro.sim.cluster import Cluster
@@ -86,6 +88,34 @@ class EnergyMeter:
         self.total_energy += tick_power
         self.power_series.append(tick_power)
         return tick_power
+
+    def step_span(self, cluster: Cluster, span: int) -> None:
+        """Meter ``span`` ticks of *frozen* cluster state in bulk.
+
+        Bit-identical to ``span`` calls to :meth:`step` while no
+        allocation or offline count changes: the per-tick powers are
+        constant, and the accumulators advance by sequential cumulative
+        sums (``np.cumsum`` accumulates left-to-right, reproducing the
+        repeated `+=` float order exactly — unlike ``np.sum``'s pairwise
+        reduction).
+        """
+        tick_power = 0.0
+        powers = []
+        for name, platform in cluster.platforms.items():
+            online = platform.capacity - cluster.offline_units(name)
+            busy = cluster.used_units(name)
+            p = self.model_for(name).power(online, busy)
+            powers.append((name, p))
+            tick_power += p
+        buf = np.empty(span + 1, dtype=np.float64)
+        for name, p in powers:
+            buf[0] = self.per_platform.get(name, 0.0)
+            buf[1:] = p
+            self.per_platform[name] = float(np.cumsum(buf)[-1])
+        buf[0] = self.total_energy
+        buf[1:] = tick_power
+        self.total_energy = float(np.cumsum(buf)[-1])
+        self.power_series.extend([tick_power] * span)
 
     def energy_per_job(self, num_finished: int) -> float:
         """Mean energy per completed job (``inf`` when nothing finished)."""

@@ -4,11 +4,11 @@ The legacy driver (:meth:`~repro.sim.simulation.Simulation.run_policy`)
 burns one full Python iteration per simulated tick — policy invocation,
 utilization sampling, per-job progress, miss/arrival bookkeeping — even
 across long stretches where provably nothing can happen. This kernel
-decouples simulated time from wall-clock cost: it maintains a heap of
-*future events* (next job arrival, earliest projected completion,
+decouples simulated time from wall-clock cost: it projects the next
+*future event* (next job arrival, earliest projected completion,
 earliest deadline expiry, the simulation horizon, and policy-requested
-wakeups) and advances ``now`` directly to the next event, fast-forwarding
-the uneventful ticks in bulk.
+wakeups) and advances ``now`` directly to it, fast-forwarding the
+uneventful ticks in bulk.
 
 Equivalence contract
 --------------------
@@ -55,11 +55,13 @@ rebalancer); the kernel inserts it as a ``WAKEUP`` event.
 from __future__ import annotations
 
 import enum
-import heapq
-import itertools
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim import soa
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.metrics import MetricsReport
@@ -91,7 +93,19 @@ class KernelStats:
     decision_ticks: int = 0      # ticks executed through advance_tick
     fast_forwarded: int = 0      # ticks skipped in bulk
     spans: int = 0               # number of fast-forward spans applied
-    span_kinds: List[str] = field(default_factory=list)
+    # Bounded per-kind counters (a long run applies millions of spans;
+    # the old per-span list grew without bound).
+    span_kind_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def span_kinds(self) -> List[str]:
+        """Flattened kind-per-span list (compat shim over the counters).
+
+        Kinds are grouped by first occurrence rather than span order —
+        the counters no longer retain the sequence.
+        """
+        return [kind for kind, count in self.span_kind_counts.items()
+                for _ in range(count)]
 
     @property
     def total_ticks(self) -> int:
@@ -159,10 +173,10 @@ class EventKernel:
         """
         if self.sim.is_done():
             return 0
-        heap = self._future_events()
-        if heap is None:
+        nxt = self._future_events()
+        if nxt is None:
             return 0
-        tick, _, kind = heapq.heappop(heap)
+        tick, kind = nxt
         span = tick - self.sim.now - 1  # the tick *reaching* the event runs live
         if budget is not None:
             span = min(span, budget)
@@ -170,18 +184,23 @@ class EventKernel:
             return 0
         self._apply_span(span)
         self.stats.spans += 1
-        self.stats.span_kinds.append(kind.value)
+        counts = self.stats.span_kind_counts
+        counts[kind.value] = counts.get(kind.value, 0) + 1
         return span
 
-    # --- the heap of future events ------------------------------------------------
-    def _future_events(self) -> Optional[List[Tuple[int, int, "WakeupKind"]]]:
-        """Build the heap of upcoming events, or None when skipping is unsafe.
+    # --- projecting the next future event -----------------------------------------
+    def _future_events(self) -> Optional[Tuple[int, "WakeupKind"]]:
+        """Project the next future event, or None when skipping is unsafe.
 
-        Each entry is ``(tick, seq, kind)`` where ``tick`` is the first
-        tick at which something observable happens (``seq`` breaks ties);
-        every tick strictly before it is provably uneventful. Projections
-        are invalidated by any state change, so the heap is rebuilt at
-        each decision point (lazy invalidation by reconstruction).
+        Returns ``(tick, kind)`` where ``tick`` is the first tick at
+        which something observable happens; every tick strictly before
+        it is provably uneventful. Conceptually this pops a heap of
+        per-source projections, but the projection is invalidated by any
+        state change and rebuilt at each decision point, so only the
+        minimum is ever consumed -- it is computed directly. Ties keep
+        the fixed source order below (policy, horizon, arrival, per-job
+        completion/deadline, wakeup), matching what a
+        ``(tick, insertion-seq)`` heap would pop.
         """
         sim = self.sim
         level = self._quiescence
@@ -191,35 +210,76 @@ class EventKernel:
             return None  # any queue-aware policy may admit every tick
         if sim.fault_injector is not None and not self._injector_quiescent():
             return None  # the fault process draws RNG every tick
-        running = sim.cluster.running_jobs()
-        if running and level == "idle":
+        n_running = len(sim.cluster._allocations)
+        if n_running and level == "idle":
             return None
 
         now = sim.now
-        seq = itertools.count()  # heap tie-breaker: kinds don't order
-        heap: List[Tuple[int, int, WakeupKind]] = [
-            (now + 1 + _UNBOUNDED_CHUNK, next(seq), WakeupKind.POLICY)
-        ]
+        best = now + 1 + _UNBOUNDED_CHUNK
+        kind = WakeupKind.POLICY
         if sim.config.horizon is not None:
             # The tick that lands exactly on the horizon is an ordinary
             # tick (the loop stops *after* it), so the event sits past it.
-            heap.append((sim.config.horizon + 1, next(seq), WakeupKind.HORIZON))
-        if sim._future:
-            heap.append((sim._future[0].arrival_time, next(seq),
-                         WakeupKind.ARRIVAL))
-        for job in running:
-            heap.append((self._completion_tick(job), next(seq),
-                         WakeupKind.COMPLETION))
-            if not job.miss_recorded:
-                # First integer tick strictly past the (float) deadline.
-                heap.append((math.floor(job.deadline) + 1, next(seq),
-                             WakeupKind.DEADLINE))
+            tick = sim.config.horizon + 1
+            if tick < best:
+                best, kind = tick, WakeupKind.HORIZON
+        if sim._future and sim._next_arrival < best:
+            best, kind = sim._next_arrival, WakeupKind.ARRIVAL
+        if n_running:
+            tables = getattr(sim, "tables", None)
+            if tables is not None and soa.use_vector(n_running):
+                # Two min-reductions replace the per-job projections.
+                # The resulting *tick* is identical (min of the same
+                # per-job bounds); only which kind wins a
+                # completion-vs-deadline tie can differ, and the kind
+                # feeds nothing but the diagnostic span counters.
+                slots = tables.running_slots()
+                safe = np.floor(
+                    (tables.work[slots] - 1e-9 - tables.progress[slots])
+                    / tables.rate[slots]) - 1.0
+                tick = now + max(int(safe.min()), 0) + 1
+                if tick < best:
+                    best, kind = tick, WakeupKind.COMPLETION
+                unmissed = ~tables.miss[slots]
+                if unmissed.any():
+                    dmin = float(tables.deadline[slots][unmissed].min())
+                    tick = math.floor(dmin) + 1
+                    if tick < best:
+                        best, kind = tick, WakeupKind.DEADLINE
+            elif tables is not None and soa.vector_enabled():
+                # Scalar-column projection for small running sets: same
+                # per-job bounds as the object loop below (the ``rate``
+                # column equals ``rate_on`` at every reconfiguration),
+                # iterated in the same allocation order, without the
+                # view-descriptor overhead.
+                t = tables
+                for alloc in sim.cluster._allocations.values():
+                    s = alloc.job._slot
+                    safe = math.floor(
+                        (t.work.item(s) - 1e-9 - t.progress.item(s))
+                        / t.rate.item(s)) - 1
+                    tick = now + max(safe, 0) + 1
+                    if tick < best:
+                        best, kind = tick, WakeupKind.COMPLETION
+                    if not t.miss.item(s):
+                        tick = math.floor(t.deadline.item(s)) + 1
+                        if tick < best:
+                            best, kind = tick, WakeupKind.DEADLINE
+            else:
+                for job in sim.cluster.running_jobs():
+                    tick = self._completion_tick(job)
+                    if tick < best:
+                        best, kind = tick, WakeupKind.COMPLETION
+                    if not job.miss_recorded:
+                        # First integer tick strictly past the deadline.
+                        tick = math.floor(job.deadline) + 1
+                        if tick < best:
+                            best, kind = tick, WakeupKind.DEADLINE
         if callable(self._wakeup_fn):
             wakeup = self._wakeup_fn(sim)
-            if wakeup is not None:
-                heap.append((int(wakeup), next(seq), WakeupKind.WAKEUP))
-        heapq.heapify(heap)  # one C-level pass beats N pushes
-        return heap
+            if wakeup is not None and int(wakeup) < best:
+                best, kind = int(wakeup), WakeupKind.WAKEUP
+        return best, kind
 
     def _completion_tick(self, job) -> int:
         """Conservative lower bound on the job's completion tick.
@@ -263,17 +323,27 @@ class EventKernel:
         # loop appends the same recomputed float each tick.
         u = cluster.utilization()
         sim.utilization_series.extend([u] * span)
+        vector = soa.vector_enabled() and getattr(sim, "tables", None) is not None
         if sim.energy_meter is not None:
-            for _ in range(span):
-                sim.energy_meter.step(cluster)
-        for alloc in cluster._allocations.values():
-            job = alloc.job
-            platform = cluster.platforms[alloc.platform]
-            rate = job.rate_on(alloc.platform, alloc.parallelism, platform.base_speed)
-            progress = job.progress
-            for _ in range(span):  # repeated addition: bit-exact vs the tick loop
-                progress += rate
-            job.progress = progress
+            if vector:
+                sim.energy_meter.step_span(cluster, span)
+            else:
+                for _ in range(span):
+                    sim.energy_meter.step(cluster)
+        if vector:
+            # Closed-form accrual where provably bit-equal to repeated
+            # addition, batched repeated addition elsewhere.
+            soa.apply_span_progress(sim.tables, sim.tables.running_slots(), span)
+        else:
+            for alloc in cluster._allocations.values():
+                job = alloc.job
+                platform = cluster.platforms[alloc.platform]
+                rate = job.rate_on(alloc.platform, alloc.parallelism,
+                                   platform.base_speed)
+                progress = job.progress
+                for _ in range(span):  # repeated addition: bit-exact
+                    progress += rate
+                job.progress = progress
         sim.log.record_tick_span(start + 1, start + span)
         sim.now = start + span
         self.stats.fast_forwarded += span

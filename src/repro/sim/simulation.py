@@ -14,10 +14,12 @@ environment, so both see *exactly* the same dynamics):
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence
 
+from repro.sim import soa
 from repro.sim.cluster import Cluster
 from repro.sim.events import Event, EventKind, EventLog
 from repro.sim.job import Job, JobState
@@ -25,7 +27,13 @@ from repro.sim.job import Job, JobState
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.energy import EnergyMeter
     from repro.sim.faults import FaultInjector
-from repro.sim.metrics import JobRecord, MetricsReport, compute_metrics, record_from_job
+from repro.sim.metrics import (
+    JobRecord,
+    MetricsReport,
+    compute_metrics,
+    record_from_job,
+    records_from_tables,
+)
 from repro.sim.platform import Platform
 
 __all__ = ["SimulationConfig", "Simulation"]
@@ -77,6 +85,18 @@ class Simulation:
         self.now: int = 0
         self.utilization_series: List[float] = []
         self._all_jobs: List[Job] = list(self._future)
+        # Adopt the whole trace into the cluster's SoA tables up front:
+        # hot Job fields become column views, and the kernel/miss-scan
+        # fast paths can reduce over contiguous arrays.
+        self.tables = self.cluster.tables
+        self.tables.adopt_all(self._all_jobs)
+        self._miss_bound: float = self.tables.min_live_deadline()
+        self.tables.deadline_dirty = False
+        # Plain-scalar mirror of ``_future[0].arrival_time``: the admit
+        # check runs every tick and the kernel projects it per decision,
+        # so keep it out of the table-view descriptors.
+        self._next_arrival: float = (
+            self._future[0].arrival_time if self._future else math.inf)
         self._admit_arrivals()
 
     # --- queue/state views ----------------------------------------------------
@@ -94,12 +114,16 @@ class Simulation:
         """True when no work remains or the horizon is exhausted."""
         if self.config.horizon is not None and self.now >= self.config.horizon:
             return True
-        return not self._future and not self.pending and not self.running
+        return (not self._future and not self.pending
+                and not self.cluster._allocations)
 
     # --- tick protocol ----------------------------------------------------------
     def _admit_arrivals(self) -> None:
-        while self._future and self._future[0].arrival_time <= self.now:
-            job = self._future.popleft()
+        future = self._future
+        while self._next_arrival <= self.now:
+            job = future.popleft()
+            self._next_arrival = (
+                future[0].arrival_time if future else math.inf)
             self.pending.append(job)
             self.log.record(Event(self.now, EventKind.ARRIVAL, job.job_id))
 
@@ -125,6 +149,21 @@ class Simulation:
         return finished
 
     def _record_misses(self) -> None:
+        # Fast path: ``_miss_bound`` is a lower bound on the minimum
+        # deadline over live unmissed jobs (future jobs included — their
+        # deadlines sit past ``now`` by construction). While ``now`` has
+        # not crossed it, no miss can occur and the O(jobs) scan is
+        # skipped. Any mutation that could lower the true minimum
+        # (deadline rewrites, un-missing, resurrecting a job, adopting a
+        # new one) raises ``deadline_dirty``, forcing a recompute.
+        t = self.tables
+        fast = t is not None and soa.vector_enabled()
+        if fast:
+            if t.deadline_dirty:
+                self._miss_bound = t.min_live_deadline()
+                t.deadline_dirty = False
+            if self.now <= self._miss_bound:
+                return
         for job in list(self.pending) + self.running:
             if not job.miss_recorded and self.now > job.deadline:
                 job.miss_recorded = True
@@ -134,6 +173,14 @@ class Simulation:
                     self.pending.remove(job)
                     self.dropped.append(job)
                     self.log.record(Event(self.now, EventKind.DROP, job.job_id))
+        if fast:
+            self._miss_bound = t.min_live_deadline()
+
+    def _register_job(self, job: Job) -> None:
+        """Adopt a dynamically materialized job (e.g. a DAG stage release)."""
+        if self.tables is not None:
+            self.tables.adopt(job)  # raises deadline_dirty for the miss scan
+        self._all_jobs.append(job)
 
     # --- convenience ------------------------------------------------------------
     def run_policy(self, policy, max_ticks: Optional[int] = None,
@@ -169,6 +216,14 @@ class Simulation:
         base_speeds: Dict[str, float] = {
             name: p.base_speed for name, p in self.cluster.platforms.items()
         }
+        t = self.tables
+        if (t is not None and soa.vector_enabled()
+                and len(t.jobs) == len(self._all_jobs)):
+            # Tables and trace hold the same jobs in the same order
+            # (init adoption + _register_job keep them in lockstep), so
+            # the batch path reads whole columns instead of re-touching
+            # every Job object.
+            return records_from_tables(t, self.now, base_speeds)
         return [record_from_job(j, base_speeds) for j in self._all_jobs
                 if j.arrival_time <= self.now]
 

@@ -42,6 +42,7 @@ from repro.workload.ingest.normalize import (
     normalize_records,
 )
 from repro.workload.ingest.records import RawJobRecord, TraceMeta, record_stats
+from repro.workload.ingest.spill import SpilledSortedRecords, spill_sorted_records
 from repro.workload.ingest.stream import (
     stream_normalize,
     stream_normalize_columnar,
@@ -57,6 +58,7 @@ __all__ = [
     "IngestConfig", "IngestStats", "normalize_records", "measured_load",
     "count_clamps",
     "stream_normalize", "stream_normalize_swf", "stream_normalize_columnar",
+    "SpilledSortedRecords", "spill_sorted_records",
     "TC_CLASS", "BE_CLASS",
     "calibrate_workload", "fitted_arrival_rate",
     "swf_fixture_path", "columnar_fixture_path",

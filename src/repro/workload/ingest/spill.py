@@ -1,0 +1,169 @@
+"""External merge-sort spill for out-of-order record streams.
+
+:func:`~repro.workload.ingest.stream.stream_normalize` requires its
+record source to be pre-sorted by the normalizer's deterministic record
+order — true of archive logs, false of, say, a concatenation of per-user
+dumps. The materialized path handles those by sorting the whole list in
+memory, which is exactly what archive-scale streaming must avoid.
+
+:class:`SpilledSortedRecords` bridges the gap with the classic external
+merge sort: the source is streamed **once**, buffered ``chunk_size``
+records at a time, each chunk sorted in memory by
+:func:`~.normalize._record_order` and spilled to a temporary
+``.jsonl.gz`` run file; every subsequent iteration k-way-merges the run
+files with :func:`heapq.merge`. Held memory is ``O(chunk_size + runs)``,
+and both normalization passes re-read the compact spilled runs instead
+of re-parsing the archive.
+
+The merged stream is *exactly* ``sorted(records, key=_record_order)``:
+the run files preserve JSON number types (ints stay ints, floats
+round-trip via ``repr``), the sort key covers every field, and a stable
+merge of stably-sorted runs is a stable sort — so feeding the spill
+through ``stream_normalize`` is byte-identical to materializing and
+sorting the same records.
+"""
+
+from __future__ import annotations
+
+import gzip
+import heapq
+import json
+import os
+import shutil
+import tempfile
+import weakref
+from typing import Iterable, Iterator, List, Optional
+
+from repro.workload.ingest.normalize import _record_order
+from repro.workload.ingest.records import RawJobRecord
+
+__all__ = ["SpilledSortedRecords", "spill_sorted_records"]
+
+#: Records buffered (and sorted in memory) per spilled run file.
+DEFAULT_SPILL_CHUNK = 65536
+
+#: Serialization order of RawJobRecord fields in a run-file line.
+_FIELDS = ("job_id", "submit_time", "wait_time", "run_time", "processors",
+           "requested_time", "requested_processors", "status", "user",
+           "group")
+
+
+def _record_to_line(r: RawJobRecord) -> str:
+    """One compact JSON array per record; number types survive the trip."""
+    return json.dumps([getattr(r, f) for f in _FIELDS],
+                      separators=(",", ":"))
+
+
+def _record_from_line(line: str) -> RawJobRecord:
+    return RawJobRecord(*json.loads(line))
+
+
+def _read_run(path: str) -> Iterator[RawJobRecord]:
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        for line in fh:
+            if line.strip():
+                yield _record_from_line(line)
+
+
+class SpilledSortedRecords:
+    """A re-streamable, sorted view of an arbitrarily-ordered source.
+
+    Callable like any ``RecordFactory``: each call returns an iterator
+    over the source records in :func:`~.normalize._record_order`. The
+    source is consumed exactly once (on the first call); run files live
+    in a private temporary directory removed when this object is
+    garbage-collected, ``close()``d, or used as a context manager.
+
+    Parameters
+    ----------
+    records_factory:
+        Zero-argument callable yielding the raw records (consumed once).
+    chunk_size:
+        Records sorted in memory per run file.
+    dir:
+        Parent directory for the run files (default: system tempdir).
+    """
+
+    def __init__(self, records_factory, chunk_size: int = DEFAULT_SPILL_CHUNK,
+                 dir: Optional[str] = None) -> None:
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self._factory = records_factory
+        self._chunk_size = chunk_size
+        self._parent = dir
+        self._tmpdir: Optional[str] = None
+        self._runs: List[str] = []
+        self._spilled = False
+        self._finalizer: Optional[weakref.finalize] = None
+
+    # --- spill ----------------------------------------------------------------
+    def _spill(self) -> None:
+        self._tmpdir = tempfile.mkdtemp(prefix="repro-spill-",
+                                        dir=self._parent)
+        self._finalizer = weakref.finalize(
+            self, shutil.rmtree, self._tmpdir, ignore_errors=True)
+        chunk: List[RawJobRecord] = []
+        try:
+            for r in self._factory():
+                chunk.append(r)
+                if len(chunk) >= self._chunk_size:
+                    self._write_run(chunk)
+                    chunk = []
+            if chunk:
+                self._write_run(chunk)
+        except BaseException:
+            self.close()
+            raise
+        self._spilled = True
+        self._factory = None   # the source is never re-read; drop the ref
+
+    def _write_run(self, chunk: List[RawJobRecord]) -> None:
+        chunk.sort(key=_record_order)
+        path = os.path.join(self._tmpdir, f"run-{len(self._runs):06d}.jsonl.gz")
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            for r in chunk:
+                fh.write(_record_to_line(r))
+                fh.write("\n")
+        self._runs.append(path)
+
+    # --- record-factory protocol ---------------------------------------------
+    def __call__(self) -> Iterator[RawJobRecord]:
+        if not self._spilled:
+            self._spill()
+        if not self._runs:
+            return iter(())
+        if len(self._runs) == 1:
+            return _read_run(self._runs[0])
+        return heapq.merge(*(_read_run(p) for p in self._runs),
+                           key=_record_order)
+
+    @property
+    def num_runs(self) -> int:
+        """Run files spilled so far (0 before first iteration)."""
+        return len(self._runs)
+
+    # --- cleanup --------------------------------------------------------------
+    def close(self) -> None:
+        """Remove the spilled run files (idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer()
+        self._runs = []
+
+    def __enter__(self) -> "SpilledSortedRecords":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def spill_sorted_records(records: Iterable[RawJobRecord],
+                         chunk_size: int = DEFAULT_SPILL_CHUNK,
+                         dir: Optional[str] = None) -> SpilledSortedRecords:
+    """Spill an already-constructed iterable (convenience wrapper).
+
+    The iterable is consumed on the returned factory's first call, so a
+    one-shot iterator is fine — but then the factory is the only
+    re-streamable handle on the data.
+    """
+    return SpilledSortedRecords(lambda: records, chunk_size=chunk_size,
+                                dir=dir)

@@ -36,6 +36,7 @@ from repro.sim import (
     Simulation,
     SimulationConfig,
 )
+from repro.sim import soa
 from repro.sim.job import Job
 
 POLICIES = {
@@ -248,6 +249,118 @@ class TestDAGEquivalence:
         assert s1.graphs_completed() == s2.graphs_completed()
         assert [(e.time, e.kind) for e in s1.log.events] == \
                [(e.time, e.kind) for e in s2.log.events]
+
+
+def _edf_at(level):
+    """An EDF variant pinned to one declared quiescence level."""
+    class PinnedEDF(EDFScheduler):
+        quiescence = level
+    PinnedEDF.__name__ = f"EDF_{level}"
+    return PinnedEDF
+
+
+class TestSoAObjectPathParity:
+    """The vectorized SoA column paths vs the per-object fallbacks.
+
+    ``soa.object_path()`` disables every vectorized compute branch
+    (storage is unchanged — the tables still back the Job views), so a
+    run under it exercises the original per-object loops. Both paths
+    must produce bit-identical observables on both engines, across
+    quiescence levels and with faults/energy on.
+    """
+
+    def assert_paths_agree(self, policy_factory, trace, engine, **kwargs):
+        assert soa.vector_enabled()
+        # force_vector drops the small-set cutoff: these traces are tiny,
+        # so without it the hybrid dispatch would route most of the run
+        # through the very object loops we are comparing against.
+        with soa.force_vector():
+            s_vec, r_vec, log_vec = run_engine(engine, policy_factory, trace,
+                                               **kwargs)
+        with soa.object_path():
+            assert not soa.vector_enabled()
+            s_obj, r_obj, log_obj = run_engine(engine, policy_factory, trace,
+                                               **kwargs)
+        assert soa.vector_enabled()
+        assert s_vec.now == s_obj.now
+        assert log_vec == log_obj
+        assert s_vec.utilization_series == s_obj.utilization_series
+        assert r_vec.as_dict() == r_obj.as_dict()
+        for a, b in zip(s_vec._all_jobs, s_obj._all_jobs):
+            assert a.progress == b.progress
+            assert a.finish_time == b.finish_time
+            assert a.state == b.state
+        return s_vec, s_obj
+
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    @pytest.mark.parametrize("engine", ["tick", "event"])
+    def test_roster_randomized_trace(self, name, engine):
+        self.assert_paths_agree(POLICIES[name], SCENARIO.trace(8), engine)
+
+    @pytest.mark.parametrize("level", ["none", "queue", "idle"])
+    @pytest.mark.parametrize("engine", ["tick", "event"])
+    def test_quiescence_levels_sparse(self, level, engine):
+        # Sparse traces make the kernel's fast-forward spans long, so the
+        # batched FMA accrual and span energy metering actually engage.
+        self.assert_paths_agree(lambda: _edf_at(level)(), sparse_trace(),
+                                engine, horizon=3000)
+
+    @pytest.mark.parametrize("level", ["none", "queue", "idle"])
+    def test_quiescence_levels_dense(self, level):
+        self.assert_paths_agree(lambda: _edf_at(level)(), SCENARIO.trace(9),
+                                "event")
+
+    @pytest.mark.parametrize("engine", ["tick", "event"])
+    def test_faults_on(self, engine):
+        s1, s2 = self.assert_paths_agree(
+            POLICIES["edf"], SCENARIO.trace(10), engine,
+            fault_models=TestFaultAndEnergyEquivalence.FAULTS)
+        assert s1.fault_injector.stats == s2.fault_injector.stats
+
+    @pytest.mark.parametrize("engine", ["tick", "event"])
+    def test_energy_on(self, engine):
+        s1, s2 = self.assert_paths_agree(
+            POLICIES["edf"], sparse_trace(), engine, horizon=3000,
+            power_models=TestFaultAndEnergyEquivalence.POWER)
+        assert s1.energy_meter.total_energy == s2.energy_meter.total_energy
+        assert s1.energy_meter.power_series == s2.energy_meter.power_series
+        assert s1.energy_meter.per_platform == s2.energy_meter.per_platform
+
+    def test_faults_and_energy_with_drop(self):
+        self.assert_paths_agree(
+            POLICIES["greedy-elastic"], SCENARIO.trace(11), "event",
+            drop_on_miss=True,
+            fault_models=TestFaultAndEnergyEquivalence.FAULTS,
+            power_models=TestFaultAndEnergyEquivalence.POWER)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    load=st.floats(0.2, 1.5),
+    drop=st.booleans(),
+    policy=st.sampled_from(["edf", "fifo", "greedy-elastic", "random"]),
+)
+def test_property_soa_paths_agree(seed, load, drop, policy):
+    """Hypothesis: on any generated trace the SoA vector path and the
+    object fallback path are bit-identical (event engine)."""
+    scenario = standard_scenario(load=load, horizon=40)
+    trace = scenario.trace(seed)
+
+    def run(jobs):
+        id_map = {j.job_id: i for i, j in enumerate(jobs)}
+        sim = Simulation(scenario.platforms, jobs,
+                         SimulationConfig(drop_on_miss=drop, horizon=600))
+        report = sim.run_policy(POLICIES[policy](), engine="event")
+        return sim, report, normalized_log(sim, id_map)
+
+    with soa.force_vector():
+        s_vec, r_vec, log_vec = run([clone_job(j) for j in trace])
+    with soa.object_path():
+        s_obj, r_obj, log_obj = run([clone_job(j) for j in trace])
+    assert log_vec == log_obj
+    assert s_vec.utilization_series == s_obj.utilization_series
+    assert r_vec.as_dict() == r_obj.as_dict()
 
 
 @settings(max_examples=25, deadline=None)

@@ -1,0 +1,161 @@
+"""External merge-sort spill: sortedness, byte-identity, bounded state.
+
+Acceptance properties pinned here:
+
+* :class:`SpilledSortedRecords` turns an arbitrarily-ordered source into
+  exactly ``sorted(records, key=_record_order)`` — including duplicate
+  rows — while consuming the source only once and re-streaming from the
+  spilled runs on every call;
+* ``stream_normalize(on_unsorted="spill")`` on a shuffled archive is
+  byte-identical (jobs and stats) to the materialized path, which sorts
+  in memory — out-of-order archives now take the streamed path instead
+  of raising;
+* the default ``on_unsorted="raise"`` behaviour is unchanged;
+* run files round-trip JSON number types (ints stay ints) and are
+  removed on close / garbage collection.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.sim.platform import Platform
+from repro.workload.ingest import (
+    IngestConfig,
+    IngestStats,
+    RawJobRecord,
+    SpilledSortedRecords,
+    normalize_records,
+    spill_sorted_records,
+    stream_normalize,
+)
+from repro.workload.ingest.normalize import _record_order
+from repro.workload.ingest.spill import _record_from_line, _record_to_line
+from repro.workload.traces import trace_payload
+
+
+@pytest.fixture
+def platforms():
+    return [Platform("cpu", 16, 1.0), Platform("gpu", 6, 1.0)]
+
+
+def rec(job_id, submit, run=600.0, procs=4, status=1, **kw):
+    return RawJobRecord(job_id=job_id, submit_time=submit, run_time=run,
+                        processors=procs, status=status, **kw)
+
+
+def shuffled_records(n=60, seed=3):
+    records = [rec(i, (i * 37) % 900 * 60.0, run=300.0 + 60 * (i % 5),
+                   procs=1 << (i % 5)) for i in range(n)]
+    # duplicate ids at equal submit times exercise the tie-breaker fields
+    records += [rec(7, records[7].submit_time, run=120.0),
+                rec(7, records[7].submit_time, run=120.0)]
+    rng = random.Random(seed)
+    rng.shuffle(records)
+    return records
+
+
+class TestSpilledSortedRecords:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, 100000])
+    def test_merge_equals_inmemory_sort(self, chunk_size):
+        records = shuffled_records()
+        with SpilledSortedRecords(lambda: iter(records),
+                                  chunk_size=chunk_size) as src:
+            assert list(src()) == sorted(records, key=_record_order)
+
+    def test_source_consumed_once_but_restreamable(self):
+        records = shuffled_records()
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return iter(records)
+
+        with SpilledSortedRecords(factory, chunk_size=16) as src:
+            first, second = list(src()), list(src())
+        assert first == second == sorted(records, key=_record_order)
+        assert len(calls) == 1
+
+    def test_run_count_and_cleanup(self):
+        records = shuffled_records(n=50)
+        src = SpilledSortedRecords(lambda: iter(records), chunk_size=10)
+        assert src.num_runs == 0
+        list(src())
+        assert src.num_runs == (50 + 2 + 9) // 10
+        tmpdir = src._tmpdir
+        assert os.path.isdir(tmpdir)
+        src.close()
+        assert not os.path.exists(tmpdir)
+        src.close()   # idempotent
+
+    def test_empty_source(self):
+        with SpilledSortedRecords(lambda: iter(())) as src:
+            assert list(src()) == []
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            SpilledSortedRecords(lambda: iter(()), chunk_size=0)
+
+    def test_convenience_wrapper(self):
+        records = shuffled_records(n=10)
+        with spill_sorted_records(records, chunk_size=3) as src:
+            assert list(src()) == sorted(records, key=_record_order)
+
+    def test_line_roundtrip_preserves_number_types(self):
+        r = rec(5, 120.0, run=600.0, procs=4, user=9, group=2)
+        back = _record_from_line(_record_to_line(r))
+        assert back == r
+        assert isinstance(back.job_id, int)
+        assert isinstance(back.submit_time, float)
+        assert isinstance(back.processors, int)
+        # json must not round floats: repr round-trip is exact
+        odd = rec(6, 0.1 + 0.2, run=1e-17 + 600.0)
+        assert _record_from_line(_record_to_line(odd)) == odd
+
+
+class TestStreamNormalizeSpill:
+    CONFIGS = [
+        IngestConfig(tick_seconds=120.0, target_load=0.8),
+        IngestConfig(tick_seconds=60.0, subsample=0.5, target_load=0.7,
+                     seed=2),
+        IngestConfig(tick_seconds=30.0, window=(1000.0, 40000.0),
+                     max_jobs=20),
+    ]
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_unsorted_spill_matches_materialized(self, platforms, config):
+        records = shuffled_records()
+        mat_stats, st_stats = IngestStats(), IngestStats()
+        mat = normalize_records(records, config, platforms, seed=11,
+                                stats=mat_stats)
+        streamed = list(stream_normalize(lambda: iter(records), config,
+                                         platforms, seed=11, stats=st_stats,
+                                         on_unsorted="spill"))
+        assert json.dumps(trace_payload(mat)) \
+            == json.dumps(trace_payload(streamed))
+        assert mat_stats == st_stats
+
+    def test_default_still_raises_on_unsorted(self, platforms):
+        records = shuffled_records()
+        config = IngestConfig(tick_seconds=120.0)
+        with pytest.raises(ValueError, match="not sorted"):
+            list(stream_normalize(lambda: list(records), config, platforms))
+
+    def test_rejects_unknown_mode(self, platforms):
+        with pytest.raises(ValueError, match="on_unsorted"):
+            list(stream_normalize(lambda: iter(()),
+                                  IngestConfig(), platforms,
+                                  on_unsorted="sort"))
+
+    def test_sorted_input_unchanged_by_spill(self, platforms):
+        records = sorted(shuffled_records(), key=_record_order)
+        config = IngestConfig(tick_seconds=60.0, target_load=0.8)
+        plain = list(stream_normalize(lambda: iter(records), config,
+                                      platforms, seed=1))
+        spilled = list(stream_normalize(lambda: iter(records), config,
+                                        platforms, seed=1,
+                                        on_unsorted="spill"))
+        assert json.dumps(trace_payload(plain)) \
+            == json.dumps(trace_payload(spilled))
