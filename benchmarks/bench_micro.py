@@ -603,10 +603,13 @@ def _bench_parallel_sweep(workers: int = 4, n_traces: int = 3) -> dict:
         == json.dumps(rows_cached, sort_keys=True)
     )
     n_cells = len(scenarios) * len(schedulers) * n_traces
+    from repro.harness.executor import available_cpus
+
     return {
         "sweep": {"scenarios": sorted(scenarios), "schedulers": sorted(schedulers),
                   "n_traces": n_traces, "cells": n_cells},
         "cpu_count": os.cpu_count(),
+        "cpu_affinity": available_cpus(),
         "workers": workers,
         "serial_s": round(t_serial, 2),
         "parallel_s": round(t_parallel, 2),
@@ -616,6 +619,80 @@ def _bench_parallel_sweep(workers: int = 4, n_traces: int = 3) -> dict:
         "cache_cold_misses": cold_misses,
         "cache_warm_hits": warm_hits,
         "rows_byte_identical": identical,
+    }
+
+
+def _bench_windowed(n_jobs: int = 4000, window_jobs: int = 500,
+                    scale: int = 2, per_tick: int = 4,
+                    work: float = 60.0) -> dict:
+    """Windowed segment evaluation vs monolithic: exactness + memory.
+
+    The same deterministic sharded archive is evaluated three ways with
+    the event kernel under EDF: monolithically (``FixedTraceScenario``
+    materializes every job), as one whole-container window (must equal
+    the monolithic report float for float — the clock re-base is the
+    identity when the first arrival is 0), and as ``window_jobs``-sized
+    segments reduced with ``merge_segments``. Peak traced allocations of
+    the segmented pass are bounded by the window size, not the archive.
+    """
+    import os
+    import tempfile
+    import tracemalloc
+
+    from repro.core.training import evaluate_scheduler_runs
+    from repro.harness.library import FixedTraceScenario, plan_trace_windows
+    from repro.sim.metrics import compute_metrics, merge_segments
+    from repro.workload.traces import save_trace_shards
+
+    platforms = large_cluster_platforms(scale)
+    trace = large_cluster_trace(n_jobs, per_tick, work=work)
+
+    def windowed_pass(size):
+        windows = plan_trace_windows(shard_dir, size, platforms=platforms,
+                                     engine="event")
+        segs = [w.evaluate_segment(EDFScheduler(), 0) for w in windows]
+        return merge_segments(segs), len(windows)
+
+    def timed_peak(fn):
+        tracemalloc.start()
+        t0 = time.perf_counter()
+        out = fn()
+        dt = time.perf_counter() - t0
+        peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+        return out, dt, peak
+
+    with tempfile.TemporaryDirectory() as tmp:
+        shard_dir = os.path.join(tmp, "shards")
+        save_trace_shards(iter(trace), shard_dir, jobs_per_shard=window_jobs)
+
+        def monolithic():
+            scenario = FixedTraceScenario.from_file(
+                shard_dir, platforms=platforms, engine="event")
+            sim = evaluate_scheduler_runs(
+                EDFScheduler(), scenario.platforms, [scenario.trace(0)],
+                max_ticks=scenario.max_ticks, engine="event")[0]
+            return compute_metrics(sim.records(),
+                                   utilization_series=sim.utilization_series,
+                                   horizon=sim.now)
+
+        mono, mono_t, mono_peak = timed_peak(monolithic)
+        (one_window, _), _, _ = timed_peak(lambda: windowed_pass(n_jobs))
+        (merged, n_windows), win_t, win_peak = timed_peak(
+            lambda: windowed_pass(window_jobs))
+
+    return {
+        "archive": {"jobs": n_jobs, "window_jobs": window_jobs,
+                    "windows": n_windows, "policy": "edf",
+                    "engine": "event",
+                    "units": sum(p.capacity for p in platforms)},
+        "monolithic_s": round(mono_t, 2),
+        "windowed_s": round(win_t, 2),
+        "monolithic_peak_mb": round(mono_peak / 1e6, 1),
+        "windowed_peak_mb": round(win_peak / 1e6, 1),
+        "peak_memory_ratio": round(mono_peak / max(win_peak, 1), 2),
+        "single_window_equals_monolithic": one_window == mono,
+        "windowed_num_jobs": merged.num_jobs,
     }
 
 
@@ -683,7 +760,8 @@ def main(argv=None) -> int:
     print(f"results -> {out}")
 
     if not args.skip_parallel:
-        parallel = {"parallel_sweep": _bench_parallel_sweep()}
+        parallel = {"parallel_sweep": _bench_parallel_sweep(),
+                    "windowed_eval": _bench_windowed()}
         out_par = root / "BENCH_parallel.json"
         out_par.write_text(json.dumps(parallel, indent=2) + "\n")
         print(json.dumps(parallel, indent=2))
@@ -692,11 +770,24 @@ def main(argv=None) -> int:
         warm_ok = sweep["warm_cache_speedup"] >= 2.5
         print(f"\nparallel(4) sweep speedup >= 2.5x: "
               f"{'PASS' if par_ok else 'FAIL'} "
-              f"({sweep['parallel_speedup']}x on {sweep['cpu_count']} cores); "
+              f"({sweep['parallel_speedup']}x on {sweep['cpu_count']} cores, "
+              f"{sweep['cpu_affinity']} in this process's affinity mask); "
               f"warm-cache replay >= 2.5x: {'PASS' if warm_ok else 'FAIL'} "
               f"({sweep['warm_cache_speedup']}x); "
               f"rows byte-identical: {sweep['rows_byte_identical']}")
+        win = parallel["windowed_eval"]
+        print(f"windowed == monolithic (single window, float for float): "
+              f"{'PASS' if win['single_window_equals_monolithic'] else 'FAIL'}; "
+              f"peak memory {win['windowed_peak_mb']} MB windowed vs "
+              f"{win['monolithic_peak_mb']} MB monolithic "
+              f"({win['peak_memory_ratio']}x) over "
+              f"{win['archive']['jobs']} jobs in "
+              f"{win['archive']['windows']} windows")
         print(f"results -> {out_par}")
+        # Speedups jitter on shared machines (reported, not enforced),
+        # but the exactness bit is a correctness gate.
+        if not win["single_window_equals_monolithic"]:
+            exit_code = 1
     return exit_code
 
 

@@ -5,7 +5,7 @@
 #     bash scripts/ci_smoke.sh sweep trace     # a subset, in order
 #     bash scripts/ci_smoke.sh leaderboard
 #
-# Steps: sweep, trace, stream, leaderboard, parity, bench,
+# Steps: sweep, trace, stream, queue, leaderboard, parity, bench,
 # nightly-leaderboard.
 # Each step is exactly what .github/workflows/ci.yml runs, so a failure
 # reproduces locally with the same command. Scratch state lives in
@@ -77,6 +77,67 @@ step_stream() {
     done
 }
 
+step_queue() {
+    # Work-queue executor backend: workers lease cells from a shared
+    # queue directory via atomic claim files; the driver merges results
+    # in deterministic cell order, so every artifact must be
+    # byte-identical to the serial backend — cold cache, warm cache, and
+    # with an external `repro.cli worker` joined mid-batch.
+    mkdir -p "$TRACE_DIR"
+    local qdir="$TRACE_DIR/queue" qcache="$TRACE_DIR/queue-cache"
+    local sweep_args=(--loads 0.6 --schedulers edf,fifo --traces 2
+                      --max-ticks 120)
+    rm -rf "$qdir" "$qcache"
+    python -m repro.cli sweep "${sweep_args[@]}" --no-cache \
+        --backend serial --out "$TRACE_DIR/sweep-serial.json"
+    python -m repro.cli sweep "${sweep_args[@]}" \
+        --backend queue --workers 2 --queue-dir "$qdir" \
+        --cache-dir "$qcache" --out "$TRACE_DIR/sweep-queue-cold.json"
+    cmp "$TRACE_DIR/sweep-serial.json" "$TRACE_DIR/sweep-queue-cold.json"
+    python -m repro.cli sweep "${sweep_args[@]}" \
+        --backend queue --workers 2 --queue-dir "$qdir" \
+        --cache-dir "$qcache" --out "$TRACE_DIR/sweep-queue-warm.json" \
+        | tee "$TRACE_DIR/queue-warm.log"
+    cmp "$TRACE_DIR/sweep-serial.json" "$TRACE_DIR/sweep-queue-warm.json"
+    grep -q ", 0 misses" "$TRACE_DIR/queue-warm.log"
+    # External joiner: a standalone worker process polls the (still
+    # empty) queue directory and drains cells alongside the driver's
+    # single local worker once the batch is published.
+    rm -rf "$qdir"
+    python -m repro.cli worker --queue-dir "$qdir" --max-idle 120 \
+        > "$TRACE_DIR/queue-worker.log" 2>&1 &
+    local wpid=$!
+    python -m repro.cli sweep "${sweep_args[@]}" --no-cache \
+        --backend queue --workers 1 --queue-dir "$qdir" \
+        --out "$TRACE_DIR/sweep-queue-ext.json"
+    wait "$wpid"
+    cat "$TRACE_DIR/queue-worker.log"
+    cmp "$TRACE_DIR/sweep-serial.json" "$TRACE_DIR/sweep-queue-ext.json"
+    # Windowed archive evaluation: shard the 50k-row generated SWF log,
+    # then evaluate it as contiguous bounded windows under the same
+    # hard address-space cap the stream step enforces. Queue and serial
+    # backends must agree byte-for-byte on the merged rows.
+    python -c "import sys; sys.path.insert(0, 'benchmarks'); \
+        from bench_micro import write_synthetic_swf; \
+        write_synthetic_swf('$TRACE_DIR/big.swf', n_rows=50_000)"
+    rm -rf "$TRACE_DIR/big-shards"
+    bash -c "ulimit -v 2097152; python -m repro.cli trace import --stream \
+        --format swf --input $TRACE_DIR/big.swf \
+        --out $TRACE_DIR/big-shards --shard-jobs 500 --tick-seconds 60 \
+        --max-jobs 2000 --target-load 0.8"
+    bash -c "ulimit -v 2097152; python -m repro.cli sweep \
+        --scenario $TRACE_DIR/big-shards --window-jobs 500 \
+        --schedulers edf,fifo --engine event --no-cache \
+        --backend serial --out $TRACE_DIR/windowed-serial.json"
+    bash -c "ulimit -v 2097152; python -m repro.cli sweep \
+        --scenario $TRACE_DIR/big-shards --window-jobs 500 \
+        --schedulers edf,fifo --engine event --no-cache \
+        --backend queue --workers 2 --queue-dir $TRACE_DIR/queue-win \
+        --out $TRACE_DIR/windowed-queue.json"
+    cmp "$TRACE_DIR/windowed-serial.json" "$TRACE_DIR/windowed-queue.json"
+    echo "queue smoke: all artifacts byte-identical to the serial backend"
+}
+
 step_leaderboard() {
     # Trained-policy leaderboard over a quick registry subset: two
     # agents, minimal training, 2 workers. Cold run trains and fills the
@@ -130,17 +191,18 @@ run_step() {
         sweep)               step_sweep ;;
         trace)               step_trace ;;
         stream)              step_stream ;;
+        queue)               step_queue ;;
         leaderboard)         step_leaderboard ;;
         parity)              step_parity ;;
         bench)               step_bench ;;
         nightly-leaderboard) step_nightly_leaderboard ;;
-        *) echo "unknown step '$1' (sweep|trace|stream|leaderboard|parity|" \
-                "bench|nightly-leaderboard)" >&2; exit 2 ;;
+        *) echo "unknown step '$1' (sweep|trace|stream|queue|leaderboard|" \
+                "parity|bench|nightly-leaderboard)" >&2; exit 2 ;;
     esac
 }
 
 if [ "$#" -eq 0 ]; then
-    set -- sweep trace stream leaderboard parity bench
+    set -- sweep trace stream queue leaderboard parity bench
 fi
 for step in "$@"; do
     echo "=== ci_smoke: $step ==="

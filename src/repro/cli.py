@@ -17,6 +17,10 @@ Usage::
     python -m repro.cli scenarios
     python -m repro.cli leaderboard --scenarios quick swf-fixture \
         --agents ppo --workers 4 --out leaderboard.json --out leaderboard.md
+    python -m repro.cli sweep --scenario shards/ --window-jobs 5000 \
+        --backend queue --queue-dir /shared/q --workers 2
+    python -m repro.cli worker --queue-dir /shared/q
+    python -m repro.cli cache stats
 
 ``leaderboard`` trains each requested agent once per named scenario
 (policies persist in a content-addressed store, ``.repro-policies/`` by
@@ -28,6 +32,15 @@ cross-scenario generalization matrix of :mod:`repro.harness.leaderboard`.
 over a spawn-safe process pool and memoizes each cell in a persistent
 on-disk cache (``.repro-cache/`` by default), so repeated sweeps only
 pay for cells whose inputs changed.
+
+``--backend queue`` instead publishes the cells as lease files in a
+shared queue directory; any number of ``repro.cli worker`` processes —
+same host or peers over a shared filesystem — claim and compute cells
+while the driver merges results in deterministic cell order, so the
+artifacts are byte-identical to the serial backend. ``--window-jobs N``
+evaluates a trace container as contiguous windows of at most ``N`` jobs
+(independent cells, exact merge), bounding peak memory however large
+the archive.
 
 ``trace`` ingests real cluster archives (Standard Workload Format logs
 or columnar CSV tables, gzip-aware) into the repo's trace JSON via the
@@ -45,6 +58,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -116,6 +130,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_backend(args: argparse.Namespace):
+    """The executor backend selected by ``--backend`` (None = legacy)."""
+    if getattr(args, "backend", None) is None:
+        return None
+    from repro.harness.executor import make_backend
+
+    return make_backend(
+        args.backend,
+        workers=args.workers,
+        queue_dir=getattr(args, "queue_dir", None),
+        lease_timeout=getattr(args, "lease_timeout", 60.0),
+        wait_timeout=getattr(args, "wait_timeout", None),
+    )
+
+
+def _add_backend_args(p: argparse.ArgumentParser) -> None:
+    from repro.harness.executor import BACKEND_NAMES, DEFAULT_QUEUE_DIR
+
+    p.add_argument("--backend", default=None, choices=list(BACKEND_NAMES),
+                   help="executor backend for evaluation cells (default: "
+                        "serial, or the spawn pool when --workers > 1)")
+    p.add_argument("--queue-dir", default=None,
+                   help="shared queue directory for --backend queue "
+                        f"(default {DEFAULT_QUEUE_DIR}); join more workers "
+                        "with `repro.cli worker --queue-dir DIR`")
+    p.add_argument("--lease-timeout", type=float, default=60.0,
+                   help="queue lease staleness threshold in seconds; a "
+                        "claim whose heartbeat is older is reclaimed")
+    p.add_argument("--wait-timeout", type=float, default=None,
+                   help="give up after this many seconds waiting for "
+                        "external queue workers (default: wait forever)")
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
     from repro.harness.experiments import quick_scenario
@@ -124,7 +171,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.harness.sweeps import sweep_schedulers
     from repro.harness.tables import format_table
 
-    if args.scenario:
+    if args.window_jobs is None and args.scenario:
         scenarios = {
             name: get_scenario(name).with_engine(args.engine)
             for name in args.scenario
@@ -148,11 +195,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             max_bytes = int(args.cache_max_mb * 1024 * 1024)
         cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR,
                             max_bytes=max_bytes)
-    rows = sweep_schedulers(
-        scenarios, schedulers, n_traces=args.traces,
-        base_seed=args.base_seed, max_ticks=args.max_ticks,
-        workers=args.workers, cache=cache,
-    )
+    backend = _resolve_backend(args)
+    if args.window_jobs is not None:
+        from repro.harness.sweeps import sweep_windowed
+
+        if not args.scenario:
+            print("--window-jobs requires --scenario trace container "
+                  "path(s)", file=sys.stderr)
+            return 2
+        missing = [p for p in args.scenario if not os.path.exists(p)]
+        if missing:
+            print(f"trace container(s) not found: {', '.join(missing)}",
+                  file=sys.stderr)
+            return 2
+        rows = []
+        for path in args.scenario:
+            rows.extend(sweep_windowed(
+                path, schedulers, args.window_jobs, engine=args.engine,
+                max_ticks=args.max_ticks, trace_seed=args.base_seed,
+                workers=args.workers, cache=cache, backend=backend,
+            ))
+    else:
+        rows = sweep_schedulers(
+            scenarios, schedulers, n_traces=args.traces,
+            base_seed=args.base_seed, max_ticks=args.max_ticks,
+            workers=args.workers, cache=cache, backend=backend,
+        )
     print(format_table(rows, title=f"sweep ({args.workers} workers)"))
     if cache is not None:
         evicted = f", {cache.stats['evictions']} evicted" \
@@ -201,6 +269,7 @@ def _cmd_leaderboard(args: argparse.Namespace) -> int:
         scenario_names=args.scenarios, agents=specs, baselines=baselines,
         n_traces=args.traces, base_seed=args.base_seed, workers=args.workers,
         cache=cache, store=store, seed=args.seed,
+        backend=_resolve_backend(args),
     )
     print(result.to_text())
     print(f"\npolicy store: {store.stats['trained']} trained, "
@@ -214,6 +283,45 @@ def _cmd_leaderboard(args: argparse.Namespace) -> int:
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(text)
         print(f"leaderboard -> {path}")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.harness.executor import queue_worker_loop
+
+    done = queue_worker_loop(
+        args.queue_dir,
+        worker_id=args.worker_id,
+        lease_timeout=args.lease_timeout,
+        heartbeat=args.heartbeat,
+        poll=args.poll,
+        max_idle=args.max_idle,
+    )
+    print(f"worker finished: {done} cell(s) computed from {args.queue_dir}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
+
+    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    if args.cache_command == "stats":
+        entries = len(cache)
+        size_mb = cache.size_bytes() / (1024 * 1024)
+        totals = cache.counters()
+        lookups = totals["hits"] + totals["misses"]
+        rate = f"{totals['hits'] / lookups:.1%}" if lookups else "n/a"
+        print(f"cache {cache.root}: {entries} entries, {size_mb:.2f} MiB")
+        print(f"lifetime: {totals['hits']} hits, {totals['misses']} misses "
+              f"(hit rate {rate}), {totals['evictions']} evictions")
+        return 0
+    # prune
+    before = len(cache)
+    cache.prune(int(args.max_mb * 1024 * 1024))
+    cache.flush_counters()
+    size_mb = cache.size_bytes() / (1024 * 1024)
+    print(f"pruned {before - len(cache)} of {before} entries -> "
+          f"{len(cache)} remain, {size_mb:.2f} MiB <= {args.max_mb:g} MiB")
     return 0
 
 
@@ -571,6 +679,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cap the cache directory at this size; "
                             "least-recently-used entries are evicted")
     sweep.add_argument("--out", help="save rows as JSON (ResultStore format)")
+    sweep.add_argument("--window-jobs", type=int, default=None,
+                       help="windowed evaluation: split each --scenario "
+                            "trace container into segments of at most this "
+                            "many jobs, evaluate them as independent cells, "
+                            "and merge exactly (bounds peak memory)")
+    _add_backend_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     lb = sub.add_parser(
@@ -609,6 +723,7 @@ def build_parser() -> argparse.ArgumentParser:
     lb.add_argument("--out", action="append", default=None,
                     help="write the leaderboard artifact (*.json or *.md; "
                          "repeatable)")
+    _add_backend_args(lb)
     lb.set_defaults(func=_cmd_leaderboard)
 
     train = sub.add_parser("train", help="train a DRL policy and save it")
@@ -644,6 +759,46 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "scenarios", help="list the named scenario registry"
     ).set_defaults(func=_cmd_scenarios)
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a queue-backend evaluation as an extra worker process: "
+             "lease cells from the shared queue directory until the batch "
+             "drains")
+    worker.add_argument("--queue-dir", required=True,
+                        help="shared queue directory of the driver run "
+                             "(its --backend queue --queue-dir)")
+    worker.add_argument("--worker-id", default=None,
+                        help="stable worker identity for claim files "
+                             "(default host-pid based)")
+    worker.add_argument("--lease-timeout", type=float, default=60.0,
+                        help="reclaim claims whose heartbeat is older "
+                             "than this many seconds")
+    worker.add_argument("--heartbeat", type=float, default=5.0,
+                        help="seconds between claim heartbeats")
+    worker.add_argument("--poll", type=float, default=0.2,
+                        help="seconds between queue polls when idle")
+    worker.add_argument("--max-idle", type=float, default=None,
+                        help="exit after this many idle seconds even if "
+                             "no batch manifest appears (default: only "
+                             "exit when the batch completes)")
+    worker.set_defaults(func=_cmd_worker)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or prune the persistent result cache")
+    csub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cstats = csub.add_parser(
+        "stats", help="entry count, size, lifetime hit/miss/eviction totals")
+    cstats.add_argument("--cache-dir", default=None,
+                        help="result-cache directory (default .repro-cache)")
+    cstats.set_defaults(func=_cmd_cache)
+    cprune = csub.add_parser(
+        "prune", help="evict least-recently-used entries down to a size cap")
+    cprune.add_argument("--cache-dir", default=None,
+                        help="result-cache directory (default .repro-cache)")
+    cprune.add_argument("--max-mb", type=float, required=True,
+                        help="target cache size in MiB")
+    cprune.set_defaults(func=_cmd_cache)
 
     trace = sub.add_parser(
         "trace", help="ingest and inspect real cluster traces")

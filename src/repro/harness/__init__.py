@@ -10,15 +10,26 @@ from repro.harness.scenario import Scenario, standard_scenario
 from repro.harness.library import (
     FixedTraceScenario,
     TraceBackedScenario,
+    TraceWindowScenario,
     get_scenario,
     list_scenarios,
+    plan_trace_windows,
     register_scenario,
 )
 from repro.harness.results import ResultStore, aggregate_rows
 from repro.harness.tables import format_table, rows_to_csv
 from repro.harness.plots import ascii_line_plot
-from repro.harness.sweeps import sweep_schedulers
+from repro.harness.sweeps import evaluate_windowed, sweep_schedulers, sweep_windowed
 from repro.harness.cache import ResultCache, fingerprint
+from repro.harness.executor import (
+    PoolBackend,
+    QueueBackend,
+    SerialBackend,
+    available_cpus,
+    execute_cells,
+    make_backend,
+    queue_worker_loop,
+)
 from repro.harness.leaderboard import (
     AgentSpec,
     LeaderboardResult,
@@ -44,11 +55,14 @@ __all__ = [
     "Scenario", "standard_scenario",
     "TraceBackedScenario", "FixedTraceScenario",
     "register_scenario", "get_scenario", "list_scenarios",
+    "TraceWindowScenario", "plan_trace_windows",
     "ResultStore", "aggregate_rows",
     "format_table", "rows_to_csv",
     "ascii_line_plot",
-    "sweep_schedulers",
+    "sweep_schedulers", "sweep_windowed", "evaluate_windowed",
     "ResultCache", "fingerprint",
+    "SerialBackend", "PoolBackend", "QueueBackend",
+    "available_cpus", "execute_cells", "make_backend", "queue_worker_loop",
     "AgentSpec", "LeaderboardResult", "PolicyStore", "StoredPolicyFactory",
     "build_leaderboard",
     "BaselineFactory", "CellFailure", "EvalCell", "run_cells",

@@ -32,12 +32,17 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
-from repro.sim.metrics import MetricsReport
+from repro.sim.metrics import MetricsReport, SegmentMetrics
 
-__all__ = ["fingerprint", "ResultCache", "DEFAULT_CACHE_DIR"]
+__all__ = ["fingerprint", "ResultCache", "DEFAULT_CACHE_DIR",
+           "encode_result", "decode_result"]
 
 #: Default cache location for the CLI (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Cumulative counter file at the cache root (not an entry: entries live
+#: in two-level subdirectories, so ``*/*.json`` globs never match it).
+_STATS_NAME = "STATS.json"
 
 #: Bump to invalidate every existing cache entry when the simulation or
 #: metrics semantics change incompatibly.
@@ -143,6 +148,34 @@ def _json_coerce(obj):
     raise TypeError(f"not JSON serializable: {type(obj).__name__}")
 
 
+def encode_result(result) -> Dict[str, Any]:
+    """JSON payload for a cell result (whole-run report or segment).
+
+    The same envelope is used by :class:`ResultCache` entries and by the
+    queue backend's shared result store, so a result computed on another
+    host decodes identically to a local cache hit.
+    """
+    if isinstance(result, SegmentMetrics):
+        return {"kind": "segment", "segment": result.to_payload()}
+    if isinstance(result, MetricsReport):
+        return {"kind": "report", "report": dataclasses.asdict(result)}
+    raise TypeError(f"not a cacheable cell result: {type(result).__name__}")
+
+
+def decode_result(payload: Dict[str, Any]):
+    """Inverse of :func:`encode_result`.
+
+    Entries written before the envelope gained ``kind`` carry only a
+    ``report`` key and decode as whole-run reports.
+    """
+    kind = payload.get("kind", "report")
+    if kind == "segment":
+        return SegmentMetrics.from_payload(payload["segment"])
+    if kind == "report":
+        return MetricsReport(**payload["report"])
+    raise ValueError(f"unknown result kind: {kind!r}")
+
+
 class ResultCache:
     """Directory-backed map from fingerprint keys to metrics reports.
 
@@ -168,6 +201,9 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Portion of the instance counters already folded into the
+        # persistent STATS.json, so repeated flushes don't double-count.
+        self._flushed = {"hits": 0, "misses": 0, "evictions": 0}
         # Running size estimate so capped puts don't stat the whole
         # directory each time; only drifts upward (overwrites double-
         # count), so it can trigger a spurious prune but never miss one.
@@ -177,13 +213,13 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[MetricsReport]:
-        """The cached report for ``key``, or ``None`` on a miss."""
+    def get(self, key: str):
+        """The cached result for ``key`` (report or segment), or ``None``."""
         path = self._path(key)
         try:
             with open(path, encoding="utf-8") as fh:
                 payload = json.load(fh)
-            report = MetricsReport(**payload["report"])
+            report = decode_result(payload)
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
             return None
@@ -194,15 +230,15 @@ class ResultCache:
             pass                    # entry may have raced away; still a hit
         return report
 
-    def put(self, key: str, report: MetricsReport) -> None:
-        """Persist ``report`` under ``key`` (atomic, last-writer-wins).
+    def put(self, key: str, report) -> None:
+        """Persist a cell result under ``key`` (atomic, last-writer-wins).
 
         When ``max_bytes`` is set, least-recently-used entries are
         evicted afterwards until the cache fits.
         """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"report": dataclasses.asdict(report)}
+        payload = encode_result(report)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
@@ -292,3 +328,45 @@ class ResultCache:
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions}
+
+    def counters(self) -> Dict[str, int]:
+        """Cumulative hit/miss/eviction counters across all processes.
+
+        Read from ``<root>/STATS.json``; a missing or corrupt file reads
+        as all-zero (the cache itself never depends on these).
+        """
+        totals = {"hits": 0, "misses": 0, "evictions": 0}
+        try:
+            with open(self.root / _STATS_NAME, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            for k in totals:
+                totals[k] = int(payload.get(k, 0))
+        except (OSError, ValueError, TypeError):
+            pass
+        return totals
+
+    def flush_counters(self) -> Dict[str, int]:
+        """Fold this instance's counter deltas into ``STATS.json``.
+
+        Read-modify-write with an atomic replace: concurrent flushers
+        can lose each other's delta but never corrupt the file —
+        acceptable for observability counters. Returns the new totals.
+        """
+        delta = {k: v - self._flushed[k] for k, v in self.stats.items()}
+        self._flushed = dict(self.stats)
+        totals = self.counters()
+        for k, v in delta.items():
+            totals[k] += v
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(totals, fh)
+            os.replace(tmp, self.root / _STATS_NAME)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return totals

@@ -399,6 +399,7 @@ def build_leaderboard(
     train_iterations: Optional[int] = None,
     seed: int = 0,
     metric: str = "miss_rate",
+    backend=None,
 ) -> LeaderboardResult:
     """Train-once-per-scenario, evaluate-everywhere, rank.
 
@@ -407,8 +408,10 @@ def build_leaderboard(
     ``agents`` are algorithm names or full :class:`AgentSpec`\\ s; each
     is trained once per scenario through ``store`` (default
     ``.repro-policies/``). ``baselines`` join as untrained entries.
-    Evaluation cells fan out over ``workers`` processes and memoize in
-    ``cache``; the returned rows are independent of both.
+    Evaluation cells fan out over ``workers`` processes — or over any
+    executor ``backend`` (``"serial"`` / ``"pool"`` / ``"queue"`` or an
+    instance, see :mod:`repro.harness.executor`) — and memoize in
+    ``cache``; the returned rows are independent of all three.
 
     The primary ``metric`` (lower is better) drives ranking, win rate,
     and the transfer gap; the matrix additionally records slowdown and
@@ -456,7 +459,7 @@ def build_leaderboard(
                     trace_seed=base_seed + i,
                     max_ticks=scenario.max_ticks,
                 ))
-    reports = run_cells(cells, workers=workers, cache=cache)
+    reports = run_cells(cells, workers=workers, cache=cache, backend=backend)
 
     # --- phase 3: aggregate, rank, and measure transfer ------------------
     values: Dict[Tuple[str, str], List[float]] = {}

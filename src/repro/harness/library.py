@@ -46,11 +46,20 @@ from repro.workload.ingest.normalize import (
 )
 from repro.workload.ingest.records import RawJobRecord
 from repro.workload.ingest.swf import parse_swf
-from repro.workload.traces import jobs_from_payload, load_trace, trace_payload
+from repro.workload.traces import (
+    iter_trace,
+    iter_trace_window,
+    job_payload,
+    jobs_from_payload,
+    load_trace,
+    trace_payload,
+)
 
 __all__ = [
     "TraceBackedScenario",
     "FixedTraceScenario",
+    "TraceWindowScenario",
+    "plan_trace_windows",
     "register_scenario",
     "get_scenario",
     "list_scenarios",
@@ -264,6 +273,207 @@ class FixedTraceScenario(Scenario):
         (``.json[.gz]``, ``.jsonl[.gz]``, or a shard directory)."""
         return cls.from_jobs(load_trace(path), platforms,
                              source=str(path), **kwargs)
+
+
+def _window_digest(payload_lines) -> str:
+    """Running SHA-256 over a window's canonical job payload lines."""
+    import hashlib
+
+    h = hashlib.sha256()
+    for line in payload_lines:
+        h.update(line.encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def _payload_line(job: Job) -> str:
+    import json
+
+    return json.dumps(job_payload(job), sort_keys=True)
+
+
+@dataclass
+class TraceWindowScenario(Scenario):
+    """One contiguous segment of a trace container, as an independent cell.
+
+    The windowed form of :class:`FixedTraceScenario`: instead of
+    materializing the whole archive into a payload tuple, the scenario
+    stores only *coordinates* — container path, ``[start, start+count)``
+    job range, and a content digest over the window's canonical payload
+    — and ``trace(seed)`` streams exactly its window's jobs
+    (:func:`~repro.workload.traces.iter_trace_window`, shard-skipping on
+    manifested directories). Peak memory per cell is bounded by the
+    window size, whatever the archive size.
+
+    Each window is an **independent episode on a re-based clock**: the
+    window's first arrival (``offset``) is subtracted from every
+    arrival/deadline before simulation, and :meth:`evaluate_segment`
+    shifts finish times and horizon back onto the global axis in the
+    :class:`~repro.sim.metrics.SegmentMetrics` it returns — slowdown,
+    JCT, tardiness, and miss decisions are shift-invariant, so
+    :func:`~repro.sim.metrics.merge_segments` over all windows
+    reproduces the single-pass reduction over the same decomposition
+    exactly.
+
+    The cache fingerprint covers the digest (content), never the path
+    (provenance): re-sharding or moving the archive keeps cache keys.
+    """
+
+    path: str = ""
+    start: int = 0
+    count: int = 0
+    offset: int = 0                 # global arrival tick re-based to 0
+    digest: str = ""                # sha256 over canonical payload lines
+    window_index: int = 0
+    n_windows: int = 1
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.count <= 0:
+            raise ValueError("TraceWindowScenario needs a non-empty window; "
+                             "use plan_trace_windows")
+
+    def cache_spec(self) -> dict:
+        """Canonical parameterization for the persistent result cache.
+
+        Excludes provenance and bookkeeping: the container ``path`` and
+        ``source`` (the digest pins the content wherever it lives) and
+        the window's position in the plan (``window_index`` /
+        ``n_windows``), which cannot affect its result.
+        """
+        import dataclasses
+
+        skip = {"path", "source", "window_index", "n_windows"}
+        return {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self) if f.name not in skip}
+
+    def trace(self, seed: int) -> List[Job]:  # noqa: ARG002 - pinned window
+        """Stream this window's jobs, verified and re-based to tick 0."""
+        jobs = list(iter_trace_window(self.path, self.start, self.count))
+        if len(jobs) != self.count:
+            raise ValueError(
+                f"trace container {self.path!r} returned {len(jobs)} jobs "
+                f"for window [{self.start}, {self.start + self.count}); "
+                "the container changed since the window plan was built")
+        digest = _window_digest(_payload_line(j) for j in jobs)
+        if digest != self.digest:
+            raise ValueError(
+                f"trace container {self.path!r} content changed since the "
+                f"window plan was built (window {self.window_index}: digest "
+                f"{digest[:12]} != planned {self.digest[:12]})")
+        if self.offset:
+            for j in jobs:
+                j.arrival_time = j.arrival_time - self.offset
+                j.deadline = j.deadline - self.offset
+        return jobs
+
+    def evaluate_segment(self, policy, trace_seed: int) -> "object":
+        """Simulate this window and return its mergeable accumulator.
+
+        Finish times and the horizon are shifted back onto the global
+        time axis (``+offset``); see :class:`SegmentMetrics`.
+        """
+        from repro.core.training import evaluate_scheduler_runs
+        from repro.sim.metrics import SegmentMetrics
+
+        sim = evaluate_scheduler_runs(
+            policy, self.platforms, [self.trace(trace_seed)],
+            max_ticks=self.max_ticks, engine=self.engine)[0]
+        return SegmentMetrics.from_records(
+            sim.records(), utilization_series=sim.utilization_series,
+            horizon=sim.now + self.offset, offset=float(self.offset))
+
+
+def plan_trace_windows(
+    path: str,
+    window_jobs: int,
+    platforms: Optional[Sequence[Platform]] = None,
+    core=None,
+    max_ticks: Optional[int] = None,
+    engine: str = "tick",
+) -> List[TraceWindowScenario]:
+    """Split a trace container into contiguous window scenarios.
+
+    One streaming pass: at most ``window_jobs`` jobs are held in memory
+    while each window's digest, offset, calibrated workload surrogate,
+    and measured load are computed; the jobs themselves are then
+    discarded (cells re-stream their window at evaluation time).
+
+    Requires non-decreasing arrival times (the contract of the streamed
+    ingest path, which external-merge-sorts out-of-order archives);
+    a violation raises :class:`ValueError` naming the job index, since
+    windows of an unsorted trace would not be contiguous time segments.
+
+    ``max_ticks`` overrides the per-window tick budget; by default each
+    window gets the :class:`FixedTraceScenario` heuristic budget on its
+    re-based horizon.
+    """
+    from repro.core.config import CoreConfig
+
+    if window_jobs <= 0:
+        raise ValueError("window_jobs must be positive")
+    platforms = list(platforms) if platforms is not None \
+        else _default_platforms()
+    core = core if core is not None else CoreConfig()
+
+    windows: List[TraceWindowScenario] = []
+    buffer: List[Job] = []
+    lines: List[str] = []
+    start = 0
+    last_arrival = None
+    total = 0
+
+    def flush() -> None:
+        nonlocal start
+        if not buffer:
+            return
+        offset = buffer[0].arrival_time
+        digest = _window_digest(lines)
+        for j in buffer:            # re-base for calibration, then discard
+            j.arrival_time = j.arrival_time - offset
+            j.deadline = j.deadline - offset
+        horizon = buffer[-1].arrival_time + 1
+        ticks = max_ticks if max_ticks is not None \
+            else max(4 * horizon, horizon + 200)
+        windows.append(TraceWindowScenario(
+            platforms=platforms,
+            workload=calibrate_workload(buffer, horizon=horizon),
+            load=measured_load(buffer, platforms),
+            core=core,
+            max_ticks=ticks,
+            engine=engine,
+            path=str(path),
+            start=start,
+            count=len(buffer),
+            offset=offset,
+            digest=digest,
+            window_index=len(windows),
+            source=str(path),
+        ))
+        start += len(buffer)
+        buffer.clear()
+        lines.clear()
+
+    for job in iter_trace(path):
+        if last_arrival is not None and job.arrival_time < last_arrival:
+            raise ValueError(
+                f"trace container {path!r} is not sorted by arrival time "
+                f"(job {total} arrives at {job.arrival_time} after "
+                f"{last_arrival}); windowed evaluation needs contiguous "
+                "time segments — re-import via the streamed ingest path")
+        last_arrival = job.arrival_time
+        lines.append(_payload_line(job))
+        buffer.append(job)
+        total += 1
+        if len(buffer) >= window_jobs:
+            flush()
+    flush()
+    if not windows:
+        raise ValueError(f"trace container {path!r} contains no jobs")
+    for w in windows:
+        w.n_windows = len(windows)
+    return windows
 
 
 # --- named scenario registry ---------------------------------------------

@@ -28,7 +28,6 @@ import os
 import pickle
 import sys
 import traceback
-import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -105,10 +104,20 @@ def cell_key(cell: EvalCell) -> str:
 
 
 def run_cell(cell: EvalCell) -> MetricsReport:
-    """Execute one cell: regenerate the trace, evaluate, report."""
+    """Execute one cell: regenerate the trace, evaluate, report.
+
+    Windowed segment scenarios (anything exposing ``evaluate_segment``,
+    i.e. :class:`~repro.harness.library.TraceWindowScenario`) return a
+    mergeable :class:`~repro.sim.metrics.SegmentMetrics` instead of a
+    whole-run report; :func:`~repro.sim.metrics.merge_segments` reduces
+    them across windows.
+    """
+    policy = cell.factory(cell.scenario)
+    evaluate_segment = getattr(cell.scenario, "evaluate_segment", None)
+    if evaluate_segment is not None:
+        return evaluate_segment(policy, cell.trace_seed)
     from repro.core.training import evaluate_scheduler
 
-    policy = cell.factory(cell.scenario)
     trace = cell.scenario.trace(cell.trace_seed)
     return evaluate_scheduler(
         policy, cell.scenario.platforms, [trace],
@@ -164,60 +173,30 @@ def _check_picklable(cells: Sequence[EvalCell]) -> None:
 
 def run_cells(
     cells: Sequence[EvalCell],
-    workers: int = 1,
+    workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    backend=None,
 ) -> List[MetricsReport]:
     """Evaluate every cell; returns reports in cell order.
 
-    ``workers > 1`` shards the uncached cells over a ``spawn`` process
-    pool. With a ``cache``, previously computed cells are served from
-    disk and only the misses are executed (and written back). The merged
-    result is independent of ``workers`` and of the hit/miss split:
-    cell ``i``'s report always lands at index ``i``.
+    Compatibility wrapper over
+    :func:`repro.harness.executor.execute_cells`, which owns the
+    cache-probe/dispatch/merge logic. ``workers > 1`` shards the
+    uncached cells over a ``spawn`` process pool; ``workers=None``
+    resolves to the CPUs this process may run on
+    (:func:`~repro.harness.executor.available_cpus`, affinity-aware).
+    ``backend`` picks an explicit executor backend (an instance or a
+    ``"serial"`` / ``"pool"`` / ``"queue"`` name) instead of the legacy
+    serial-or-pool dispatch. With a ``cache``, previously computed
+    cells are served from disk and only the misses are executed (and
+    written back). The merged result is independent of backend,
+    ``workers``, and the hit/miss split: cell ``i``'s report always
+    lands at index ``i``.
     """
-    if workers < 1:
+    from repro.harness.executor import available_cpus, execute_cells
+
+    if workers is None:
+        workers = available_cpus()
+    if backend is None and workers < 1:
         raise ValueError("workers must be >= 1")
-    results: List[Optional[MetricsReport]] = [None] * len(cells)
-    todo: List[int] = []
-    keys: List[Optional[str]] = [None] * len(cells)
-    for i, cell in enumerate(cells):
-        if cache is not None:
-            keys[i] = cell_key(cell)
-            hit = cache.get(keys[i])
-            if hit is not None:
-                results[i] = hit
-                continue
-        todo.append(i)
-
-    if todo:
-        if workers > 1 and len(todo) > 1 and not _spawn_is_safe():
-            warnings.warn(
-                "__main__ is not importable by spawned workers (stdin "
-                "script?); running evaluation cells serially",
-                RuntimeWarning, stacklevel=2)
-            workers = 1
-        if workers == 1 or len(todo) == 1:
-            outcomes = [_run_cell_shielded(cells[i]) for i in todo]
-        else:
-            import multiprocessing as mp
-
-            pending = [cells[i] for i in todo]
-            _check_picklable(pending)
-            ctx = mp.get_context("spawn")
-            with ctx.Pool(processes=min(workers, len(pending))) as pool:
-                outcomes = pool.map(_run_cell_shielded, pending)
-        # Persist every successful cell *before* surfacing a failure, so
-        # a retry after fixing one bad cell replays the rest from cache
-        # instead of recomputing the whole batch.
-        failure: Optional[CellFailure] = None
-        for i, outcome in zip(todo, outcomes):
-            if outcome[0] != "ok":
-                if failure is None:
-                    failure = _failure_error(outcome)
-                continue
-            results[i] = outcome[1]
-            if cache is not None and keys[i] is not None:
-                cache.put(keys[i], results[i])
-        if failure is not None:
-            raise failure
-    return results  # type: ignore[return-value]
+    return execute_cells(cells, backend=backend, workers=workers, cache=cache)

@@ -19,7 +19,7 @@ from repro.harness.parallel import EvalCell, run_cells
 from repro.harness.results import Row, aggregate_rows
 from repro.harness.scenario import Scenario
 
-__all__ = ["sweep_schedulers"]
+__all__ = ["sweep_schedulers", "evaluate_windowed", "sweep_windowed"]
 
 SchedulerFactory = Callable[[Scenario], object]
 
@@ -32,6 +32,7 @@ def sweep_schedulers(
     max_ticks: Optional[int] = None,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
+    backend=None,
 ) -> List[Row]:
     """Evaluate every scheduler on every scenario over paired traces.
 
@@ -69,7 +70,7 @@ def sweep_schedulers(
                     trace_seed=base_seed + i,
                     max_ticks=ticks,
                 ))
-    reports = run_cells(cells, workers=workers, cache=cache)
+    reports = run_cells(cells, workers=workers, cache=cache, backend=backend)
     raw: List[Row] = []
     for cell, rep in zip(cells, reports):
         raw.append({
@@ -88,3 +89,89 @@ def sweep_schedulers(
         metrics=["miss_rate", "mean_slowdown", "mean_tardiness",
                  "mean_utilization", "throughput"],
     )
+
+
+def evaluate_windowed(
+    path: str,
+    schedulers: Dict[str, SchedulerFactory],
+    window_jobs: int,
+    platforms=None,
+    core=None,
+    engine: str = "tick",
+    max_ticks: Optional[int] = None,
+    trace_seed: int = 1000,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    backend=None,
+) -> Dict[str, "object"]:
+    """Evaluate schedulers over a trace container in windowed segments.
+
+    The container at ``path`` is split into contiguous
+    :class:`~repro.harness.library.TraceWindowScenario` cells of at most
+    ``window_jobs`` jobs (one streaming planning pass); every
+    (scheduler, window) pair becomes an independent
+    :class:`~repro.harness.parallel.EvalCell` streaming only its window,
+    so peak memory is bounded by the window size however large the
+    archive. Per-window :class:`~repro.sim.metrics.SegmentMetrics` are
+    reduced in window order with
+    :func:`~repro.sim.metrics.merge_segments` — an exact deterministic
+    reduction, independent of backend, worker count, and cache state.
+
+    Returns scheduler name -> merged
+    :class:`~repro.sim.metrics.MetricsReport`.
+    """
+    from repro.harness.library import plan_trace_windows
+    from repro.sim.metrics import merge_segments
+
+    windows = plan_trace_windows(
+        path, window_jobs, platforms=platforms, core=core,
+        max_ticks=max_ticks, engine=engine)
+    cells: List[EvalCell] = []
+    for sched_name, factory in schedulers.items():
+        for w in windows:
+            cells.append(EvalCell(
+                scenario_name=f"{path}[{w.window_index}/{w.n_windows}]",
+                scenario=w,
+                scheduler_name=sched_name,
+                factory=factory,
+                trace_index=w.window_index,
+                trace_seed=trace_seed,
+                max_ticks=w.max_ticks,
+            ))
+    segments = run_cells(cells, workers=workers, cache=cache, backend=backend)
+    reports: Dict[str, object] = {}
+    n = len(windows)
+    for i, sched_name in enumerate(schedulers):
+        reports[sched_name] = merge_segments(segments[i * n:(i + 1) * n])
+    return reports
+
+
+def sweep_windowed(
+    path: str,
+    schedulers: Dict[str, SchedulerFactory],
+    window_jobs: int,
+    scenario_name: Optional[str] = None,
+    **kwargs,
+) -> List[Row]:
+    """Windowed sweep rows: one per scheduler, merged across windows.
+
+    Thin row-shaping wrapper over :func:`evaluate_windowed` matching the
+    ``sweep_schedulers`` row vocabulary, so the CLI table/JSON emitters
+    work unchanged.
+    """
+    reports = evaluate_windowed(path, schedulers, window_jobs, **kwargs)
+    name = scenario_name if scenario_name is not None else str(path)
+    rows: List[Row] = []
+    for sched_name, rep in reports.items():
+        rows.append({
+            "scenario": name,
+            "scheduler": sched_name,
+            "window_jobs": window_jobs,
+            "n_jobs": rep.num_jobs,
+            "miss_rate": rep.miss_rate,
+            "mean_slowdown": rep.mean_slowdown,
+            "mean_tardiness": rep.mean_tardiness,
+            "mean_utilization": rep.mean_utilization,
+            "throughput": rep.throughput,
+        })
+    return rows

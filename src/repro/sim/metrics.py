@@ -19,8 +19,8 @@ import numpy as np
 
 from repro.sim.job import Job, JobState
 
-__all__ = ["JobRecord", "MetricsReport", "compute_metrics", "jain_fairness",
-           "records_from_tables"]
+__all__ = ["JobRecord", "MetricsReport", "SegmentMetrics", "compute_metrics",
+           "jain_fairness", "merge_segments", "records_from_tables"]
 
 
 def jain_fairness(values: Sequence[float]) -> float:
@@ -267,6 +267,191 @@ def compute_metrics(
         mean_tardiness=float(np.mean(tard)),
         makespan=makespan,
         throughput=(len(finished) / makespan) if makespan > 0 else 0.0,
+        mean_utilization=util,
+        class_fairness=fairness,
+        per_class_miss_rate=per_class,
+    )
+
+
+@dataclass
+class SegmentMetrics:
+    """Mergeable per-segment metrics accumulator.
+
+    Holds the per-record *value columns* (in record order) that
+    :func:`compute_metrics` reduces over, instead of the scalar
+    aggregates — so any partition of a job stream into contiguous
+    segments can be reduced with :func:`merge_segments` to the exact
+    floats a single :func:`compute_metrics` call over the concatenated
+    records would produce. Concatenation preserves record order, which
+    pins numpy's pairwise mean/percentile reductions bit-for-bit.
+
+    ``finish`` and ``horizon`` are on the *global* time axis: a segment
+    simulated on a re-based clock passes its window ``offset`` to
+    :meth:`from_records` so shift-sensitive aggregates (makespan,
+    throughput) come out right, while slowdown/jct/tardiness are
+    shift-invariant and stored as computed.
+    """
+
+    n_jobs: int
+    classes: List[str]              # sorted unique job classes in this segment
+    class_idx: np.ndarray           # (n_jobs,) int32 index into ``classes``
+    finished: np.ndarray            # (n_jobs,) bool
+    missed: np.ndarray              # (n_jobs,) bool
+    dropped: np.ndarray             # (n_jobs,) bool
+    slowdown: np.ndarray            # (n_jobs,) float64; NaN where unfinished
+    jct: np.ndarray                 # (n_jobs,) float64; NaN where unfinished
+    tardiness: np.ndarray           # (n_jobs,) float64
+    finish: np.ndarray              # (n_jobs,) float64, global axis; NaN unfinished
+    utilization: np.ndarray         # per-tick utilization series (float64)
+    horizon: Optional[float] = None  # global end-of-segment sim time
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[JobRecord],
+        utilization_series: Optional[Sequence[float]] = None,
+        horizon: Optional[float] = None,
+        offset: float = 0.0,
+    ) -> "SegmentMetrics":
+        """Accumulate one segment's records.
+
+        ``offset`` is added to every finish time (``horizon`` is expected
+        to already be global — the caller knows its own clock).
+        """
+        classes = sorted({r.job_class for r in records})
+        cls_pos = {c: i for i, c in enumerate(classes)}
+        n = len(records)
+        class_idx = np.fromiter(
+            (cls_pos[r.job_class] for r in records), dtype=np.int32, count=n)
+        nan = float("nan")
+        return cls(
+            n_jobs=n,
+            classes=classes,
+            class_idx=class_idx,
+            finished=np.fromiter(
+                (r.finish is not None for r in records), dtype=bool, count=n),
+            missed=np.fromiter((r.missed for r in records), dtype=bool, count=n),
+            dropped=np.fromiter((r.dropped for r in records), dtype=bool, count=n),
+            slowdown=np.fromiter(
+                (nan if r.finish is None else r.slowdown for r in records),
+                dtype=np.float64, count=n),
+            jct=np.fromiter(
+                (nan if r.finish is None else r.jct for r in records),
+                dtype=np.float64, count=n),
+            tardiness=np.fromiter(
+                (r.tardiness for r in records), dtype=np.float64, count=n),
+            finish=np.fromiter(
+                (nan if r.finish is None else r.finish + offset for r in records),
+                dtype=np.float64, count=n),
+            utilization=np.asarray(
+                utilization_series if utilization_series is not None else [],
+                dtype=np.float64),
+            horizon=None if horizon is None else float(horizon),
+        )
+
+    def to_payload(self) -> Dict:
+        """JSON-serializable form (floats round-trip exactly; NaN allowed)."""
+        return {
+            "n_jobs": self.n_jobs,
+            "classes": list(self.classes),
+            "class_idx": self.class_idx.tolist(),
+            "finished": [int(b) for b in self.finished.tolist()],
+            "missed": [int(b) for b in self.missed.tolist()],
+            "dropped": [int(b) for b in self.dropped.tolist()],
+            "slowdown": self.slowdown.tolist(),
+            "jct": self.jct.tolist(),
+            "tardiness": self.tardiness.tolist(),
+            "finish": self.finish.tolist(),
+            "utilization": self.utilization.tolist(),
+            "horizon": self.horizon,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "SegmentMetrics":
+        return cls(
+            n_jobs=int(payload["n_jobs"]),
+            classes=[str(c) for c in payload["classes"]],
+            class_idx=np.asarray(payload["class_idx"], dtype=np.int32),
+            finished=np.asarray(payload["finished"], dtype=bool),
+            missed=np.asarray(payload["missed"], dtype=bool),
+            dropped=np.asarray(payload["dropped"], dtype=bool),
+            slowdown=np.asarray(payload["slowdown"], dtype=np.float64),
+            jct=np.asarray(payload["jct"], dtype=np.float64),
+            tardiness=np.asarray(payload["tardiness"], dtype=np.float64),
+            finish=np.asarray(payload["finish"], dtype=np.float64),
+            utilization=np.asarray(payload["utilization"], dtype=np.float64),
+            horizon=None if payload.get("horizon") is None
+            else float(payload["horizon"]),
+        )
+
+
+def merge_segments(segments: Sequence[SegmentMetrics]) -> MetricsReport:
+    """Exact deterministic cross-segment reduction.
+
+    Produces the identical :class:`MetricsReport` (float for float) that
+    :func:`compute_metrics` would return over the concatenation of the
+    segments' records, their utilization series concatenated in segment
+    order, and ``horizon = max(segment horizons)``. Every reduction
+    below mirrors the corresponding line of :func:`compute_metrics` on
+    arrays concatenated in segment order == global record order.
+    """
+    segs = list(segments)
+    n_records = sum(s.n_jobs for s in segs)
+    if n_records == 0:
+        return compute_metrics([])
+
+    fin_masks = [s.finished for s in segs]
+    num_finished = int(sum(int(m.sum()) for m in fin_masks))
+    num_missed = int(sum(int(s.missed.sum()) for s in segs))
+    num_dropped = int(sum(int(s.dropped.sum()) for s in segs))
+
+    if num_finished:
+        slowdowns = np.concatenate([s.slowdown[m] for s, m in zip(segs, fin_masks)])
+        jcts = np.concatenate([s.jct[m] for s, m in zip(segs, fin_masks)])
+        finishes = np.concatenate([s.finish[m] for s, m in zip(segs, fin_masks)])
+        makespan = float(finishes.max())
+    else:
+        slowdowns = np.array([0.0])
+        jcts = np.array([0.0])
+        makespan = 0.0
+    tard = np.concatenate([s.tardiness for s in segs])
+    horizons = [s.horizon for s in segs if s.horizon is not None]
+    if horizons:
+        makespan = max(makespan, float(max(horizons)))
+    series = np.concatenate([s.utilization for s in segs])
+    util = float(np.mean(series)) if series.size else 0.0
+
+    per_class: Dict[str, float] = {}
+    class_slowdowns = []
+    classes = sorted(set().union(*[set(s.classes) for s in segs]))
+    for c in classes:
+        cls_masks = []
+        for s in segs:
+            if c in s.classes:
+                cls_masks.append(s.class_idx == s.classes.index(c))
+            else:
+                cls_masks.append(np.zeros(s.n_jobs, dtype=bool))
+        total = sum(int(m.sum()) for m in cls_masks)
+        miss_cnt = sum(int((s.missed & m).sum()) for s, m in zip(segs, cls_masks))
+        per_class[c] = miss_cnt / total
+        cls_sd = np.concatenate(
+            [s.slowdown[m & f] for s, m, f in zip(segs, cls_masks, fin_masks)])
+        if cls_sd.size:
+            class_slowdowns.append(float(np.mean(cls_sd)))
+    fairness = jain_fairness(class_slowdowns)
+
+    return MetricsReport(
+        num_jobs=n_records,
+        num_finished=num_finished,
+        num_missed=num_missed,
+        num_dropped=num_dropped,
+        miss_rate=num_missed / n_records,
+        mean_slowdown=float(np.mean(slowdowns)),
+        p95_slowdown=float(np.percentile(slowdowns, 95)),
+        mean_jct=float(np.mean(jcts)),
+        mean_tardiness=float(np.mean(tard)),
+        makespan=makespan,
+        throughput=(num_finished / makespan) if makespan > 0 else 0.0,
         mean_utilization=util,
         class_fairness=fairness,
         per_class_miss_rate=per_class,

@@ -47,6 +47,8 @@ __all__ = [
     "save_trace",
     "load_trace",
     "iter_trace",
+    "iter_trace_window",
+    "count_trace_jobs",
     "save_trace_shards",
     "trace_payload",
     "job_payload",
@@ -360,6 +362,62 @@ def iter_trace(path: str) -> Iterator[Job]:
         yield from _iter_jsonl(path)
         return
     yield from _load_json_array(path)
+
+
+def iter_trace_window(path: str, start: int, count: int) -> Iterator[Job]:
+    """Stream ``jobs[start : start + count]`` from any trace container.
+
+    For shard directories whose manifest carries per-shard job counts
+    (``shard_jobs``, written by :func:`save_trace_shards`), shards that
+    lie entirely before the window are *skipped without being opened* —
+    reading one window of a large archive touches only the shards that
+    intersect it. Other containers fall back to streaming from the
+    front and discarding the prefix.
+    """
+    if start < 0 or count < 0:
+        raise ValueError("start and count must be non-negative")
+    if count == 0:
+        return
+    end = start + count
+    if _is_shard_dir(path):
+        manifest = _read_manifest(path)
+        shards = manifest.get("shards", ())
+        shard_jobs = manifest.get("shard_jobs", ())
+        if len(shard_jobs) == len(shards):
+            pos = 0
+            for name, n in zip(shards, shard_jobs):
+                if pos >= end:
+                    return
+                if pos + n <= start:
+                    pos += n        # whole shard before the window: skip
+                    continue
+                for job in _iter_jsonl(os.path.join(path, name)):
+                    if pos >= end:
+                        return
+                    if pos >= start:
+                        yield job
+                    pos += 1
+            return
+    it = iter_trace(path)
+    for i, job in enumerate(it):
+        if i >= end:
+            return
+        if i >= start:
+            yield job
+
+
+def count_trace_jobs(path: str) -> int:
+    """Number of jobs in a trace container.
+
+    Shard directories answer from the manifest (no shard is opened);
+    other containers are streamed and counted.
+    """
+    if _is_shard_dir(path):
+        manifest = _read_manifest(path)
+        n = manifest.get("n_jobs")
+        if isinstance(n, int):
+            return n
+    return sum(1 for _ in iter_trace(path))
 
 
 def _load_json_array(path: str) -> List[Job]:
