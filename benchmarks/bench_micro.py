@@ -696,6 +696,51 @@ def _bench_windowed(n_jobs: int = 4000, window_jobs: int = 500,
     }
 
 
+def _bench_serve(policies=("fifo", "greedy-elastic"), seed: int = 1000) -> dict:
+    """Serving-path cost: µs per decision pass, sustained jobs/s.
+
+    Drives :class:`~repro.serve.service.SchedulerService` in-process
+    (no socket) on the quick scenario: every job submitted one at a
+    time exactly as the replay client would, then drained. The latency
+    percentiles come from the service's own recorder — the same numbers
+    ``repro.cli serve`` reports over the ``stats`` op — and the
+    byte-identity bit re-checks the serving invariant against the batch
+    reference as a correctness gate, not just a timing.
+    """
+    from repro.baselines import baseline_roster
+    from repro.harness.library import get_scenario
+    from repro.serve import (SchedulerService, batch_reference,
+                             dumps_metrics, trace_payloads)
+
+    scenario = get_scenario("quick")
+    payloads = trace_payloads(scenario.trace(seed))
+    out = {"scenario": "quick", "jobs": len(payloads),
+           "max_ticks": scenario.max_ticks, "policies": {}}
+    for name in policies:
+        service = SchedulerService(
+            scenario.platforms, dict(baseline_roster())[name],
+            max_ticks=scenario.max_ticks, policy_desc=name)
+        t0 = time.perf_counter()
+        for i, payload in enumerate(payloads):
+            service.submit(payload, index=i)
+        drained = service.drain()
+        wall = time.perf_counter() - t0
+        reference = batch_reference(
+            scenario.platforms, payloads, dict(baseline_roster())[name],
+            max_ticks=scenario.max_ticks)
+        latency = service.stats()["latency"]
+        out["policies"][name] = {
+            "decision_p50_us": round(latency["p50_us"], 1),
+            "decision_p99_us": round(latency["p99_us"], 1),
+            "decision_passes": latency["decisions"],
+            "sustained_jobs_per_s": round(len(payloads) / wall, 1),
+            "wall_s": round(wall, 3),
+            "served_equals_batch": dumps_metrics(drained["metrics"])
+                                   == reference,
+        }
+    return out
+
+
 def main(argv=None) -> int:
     """Record the kernel/rollout comparisons to BENCH_kernel.json, the
     ingestion throughput to BENCH_ingest.json, and the parallel-sweep
@@ -758,6 +803,22 @@ def main(argv=None) -> int:
           f"SoA large-cluster speedup >= 10x: {'PASS' if soa_ok else 'FAIL'}; "
           f"vec(8) speedup >= 2x (large policy): {'PASS' if vec_ok else 'FAIL'}")
     print(f"results -> {out}")
+
+    serve = _bench_serve()
+    out_serve = root / "BENCH_serve.json"
+    out_serve.write_text(json.dumps(serve, indent=2) + "\n")
+    print(json.dumps(serve, indent=2))
+    for name, row in serve["policies"].items():
+        status = "PASS" if row["served_equals_batch"] else "FAIL"
+        print(f"serve[{name}]: byte-identity vs batch {status}; "
+              f"p50 {row['decision_p50_us']} us, "
+              f"p99 {row['decision_p99_us']} us per decision pass, "
+              f"{row['sustained_jobs_per_s']} jobs/s sustained")
+        # Timing jitters on shared machines (reported, not enforced);
+        # the serving invariant is a correctness gate.
+        if not row["served_equals_batch"]:
+            exit_code = 1
+    print(f"results -> {out_serve}")
 
     if not args.skip_parallel:
         parallel = {"parallel_sweep": _bench_parallel_sweep(),

@@ -162,6 +162,38 @@ step_leaderboard() {
          "rows byte-identical"
 }
 
+step_serve() {
+    # Online serving invariant, end to end with a real kill -9: pump
+    # the swf-fixture trace into a live server, SIGKILL it mid-stream,
+    # restart from the rolling checkpoint, finish the replay, and
+    # require the served metrics byte-identical to the offline batch
+    # reference on the same payloads.
+    mkdir -p "$TRACE_DIR"
+    local sdir="$TRACE_DIR/serve-state"
+    local serve_args=(--scenario swf-fixture --policy greedy-elastic
+                      --state-dir "$sdir")
+    rm -rf "$sdir"
+    python -m repro.cli serve "${serve_args[@]}" --checkpoint-every 8 \
+        > "$TRACE_DIR/serve-1.log" 2>&1 &
+    local spid=$!
+    python -m repro.cli replay "${serve_args[@]}" --stop-after 20
+    kill -9 "$spid"
+    wait "$spid" 2>/dev/null || true
+    python -m repro.cli serve "${serve_args[@]}" --checkpoint-every 8 \
+        > "$TRACE_DIR/serve-2.log" 2>&1 &
+    spid=$!
+    python -m repro.cli replay "${serve_args[@]}" --shutdown \
+        --out "$TRACE_DIR/served.json"
+    wait "$spid"
+    cat "$TRACE_DIR/serve-1.log" "$TRACE_DIR/serve-2.log"
+    grep -q "resumed from checkpoint" "$TRACE_DIR/serve-2.log"
+    python -m repro.cli replay "${serve_args[@]}" --offline \
+        --out "$TRACE_DIR/batch.json"
+    cmp "$TRACE_DIR/served.json" "$TRACE_DIR/batch.json"
+    echo "serve smoke: served metrics byte-identical to the batch" \
+         "reference across a kill -9 restart"
+}
+
 step_parity() {
     # Scaled-down (128-unit, 10k-job) SoA-vs-object kernel parity gate:
     # the vectorized column paths must be bit-identical to the per-object
@@ -193,16 +225,17 @@ run_step() {
         stream)              step_stream ;;
         queue)               step_queue ;;
         leaderboard)         step_leaderboard ;;
+        serve)               step_serve ;;
         parity)              step_parity ;;
         bench)               step_bench ;;
         nightly-leaderboard) step_nightly_leaderboard ;;
         *) echo "unknown step '$1' (sweep|trace|stream|queue|leaderboard|" \
-                "parity|bench|nightly-leaderboard)" >&2; exit 2 ;;
+                "serve|parity|bench|nightly-leaderboard)" >&2; exit 2 ;;
     esac
 }
 
 if [ "$#" -eq 0 ]; then
-    set -- sweep trace stream queue leaderboard parity bench
+    set -- sweep trace stream queue leaderboard serve parity bench
 fi
 for step in "$@"; do
     echo "=== ci_smoke: $step ==="

@@ -296,6 +296,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         heartbeat=args.heartbeat,
         poll=args.poll,
         max_idle=args.max_idle,
+        handle_signals=True,
     )
     print(f"worker finished: {done} cell(s) computed from {args.queue_dir}")
     return 0
@@ -392,6 +393,110 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     rows.sort(key=lambda r: r["miss_rate"])
     what = args.scenario if args.scenario else f"load={args.load}"
     print(format_table(rows, title=f"evaluation ({what})"))
+    return 0
+
+
+# --- online serving -------------------------------------------------------
+
+def _serve_policy(args: argparse.Namespace, scenario):
+    """Resolve the serving policy and its human-readable description.
+
+    Three sources, in precedence order: ``--policy-npz`` (trained weights
+    saved by ``repro train``), ``--policy-store`` (a content-addressed
+    key in the leaderboard :class:`PolicyStore`), and ``--policy`` (a
+    baseline name from the heuristic roster).
+    """
+    from repro.baselines import baseline_roster
+
+    if getattr(args, "policy_npz", None):
+        return _load_policy(args.policy_npz, scenario), f"npz:{args.policy_npz}"
+    if getattr(args, "policy_store", None):
+        from repro.harness.leaderboard import DEFAULT_POLICY_DIR, PolicyStore
+
+        store = PolicyStore(args.policy_dir or DEFAULT_POLICY_DIR)
+        return (store.load_scheduler(args.policy_store),
+                f"store:{args.policy_store[:12]}")
+    roster = dict(baseline_roster())
+    if args.policy not in roster:
+        raise SystemExit(
+            f"unknown baseline {args.policy!r}; choose from {sorted(roster)}")
+    return roster[args.policy], args.policy
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import SchedulerService, run_server
+
+    scenario = _resolve_scenario(args)
+    policy, desc = _serve_policy(args, scenario)
+    max_ticks = (args.max_ticks if args.max_ticks is not None
+                 else scenario.max_ticks)
+    service = SchedulerService(
+        scenario.platforms, policy,
+        max_ticks=max_ticks,
+        drop_on_miss=args.drop_on_miss,
+        state_dir=args.state_dir or None,
+        checkpoint_every=args.checkpoint_every,
+        policy_desc=desc,
+    )
+    return run_server(service, host=args.host, port=args.port,
+                      http_port=args.http_port)
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        ReplayClient,
+        batch_reference,
+        dumps_metrics,
+        trace_payloads,
+    )
+
+    scenario = _resolve_scenario(args)
+    payloads = trace_payloads(scenario.trace(args.trace_seed))
+    max_ticks = (args.max_ticks if args.max_ticks is not None
+                 else scenario.max_ticks)
+
+    if args.offline:
+        # Batch half of the serving invariant: same payloads, same
+        # canonical bytes, no server involved.
+        policy, desc = _serve_policy(args, scenario)
+        text = batch_reference(scenario.platforms, payloads, policy,
+                               max_ticks=max_ticks,
+                               drop_on_miss=args.drop_on_miss,
+                               engine=args.engine)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"offline reference ({desc}, {len(payloads)} jobs) "
+                  f"-> {args.out}")
+        else:
+            print(text, end="")
+        return 0
+
+    client = ReplayClient(
+        state_dir=args.state_dir or None, host=args.host, port=args.port,
+        tick_seconds=args.tick_seconds, compression=args.compression,
+        connect_timeout=args.connect_timeout,
+    )
+    with client:
+        metrics = client.pump(
+            payloads,
+            stop_after=args.stop_after,
+            drain=not args.no_drain,
+            shutdown=args.shutdown,
+            log=lambda m: print(f"replay: {m}", flush=True),
+        )
+    if metrics is None:
+        print(f"replay: stopped mid-stream after {client.submitted} "
+              f"of {len(payloads)} submissions")
+        return 0
+    text = dumps_metrics(metrics)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"replayed {len(payloads)} jobs "
+              f"({client.decisions} decisions) -> {args.out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -783,6 +888,84 @@ def build_parser() -> argparse.ArgumentParser:
                              "no batch manifest appears (default: only "
                              "exit when the batch completes)")
     worker.set_defaults(func=_cmd_worker)
+
+    def _add_serve_policy_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--policy", default="edf",
+                       help="baseline scheduler name (see `repro scenarios`)")
+        p.add_argument("--policy-npz", default=None,
+                       help="trained policy weights from `repro train`")
+        p.add_argument("--policy-store", default=None,
+                       help="content-addressed key in the leaderboard "
+                            "policy store")
+        p.add_argument("--policy-dir", default=None,
+                       help="policy-store root (default .repro-policies)")
+
+    def _add_serve_scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scenario", default=None,
+                       help="named scenario from the registry (default: "
+                            "the synthetic quick scenario at --load)")
+        p.add_argument("--load", type=float, default=0.7)
+        p.add_argument("--engine", default="tick", choices=["tick", "event"])
+        p.add_argument("--max-ticks", type=int, default=None,
+                       help="horizon override (default: the scenario's)")
+        p.add_argument("--drop-on-miss", action="store_true")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the scheduling service: accept live job submissions over "
+             "an NDJSON socket, answer with policy decisions, checkpoint "
+             "for crash-consistent restart")
+    _add_serve_scenario_args(serve)
+    _add_serve_policy_args(serve)
+    serve.add_argument("--state-dir", default=".repro-serve",
+                       help="rolling checkpoint + endpoint directory "
+                            "('' disables checkpointing)")
+    serve.add_argument("--checkpoint-every", type=int, default=16,
+                       help="checkpoint after every N accepted submissions")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="NDJSON socket port (0 picks an ephemeral one, "
+                            "advertised in <state-dir>/ENDPOINT.json)")
+    serve.add_argument("--http-port", type=int, default=None,
+                       help="also expose the HTTP shim on this port "
+                            "(0 for ephemeral)")
+    serve.set_defaults(func=_cmd_serve)
+
+    replay = sub.add_parser(
+        "replay",
+        help="pump a scenario trace into a running server at configurable "
+             "time compression (or compute the offline batch reference)")
+    _add_serve_scenario_args(replay)
+    _add_serve_policy_args(replay)
+    replay.add_argument("--trace-seed", type=int, default=1000,
+                        help="trace seed (matches the evaluate base seed)")
+    replay.add_argument("--state-dir", default=".repro-serve",
+                        help="server state dir for endpoint discovery")
+    replay.add_argument("--host", default=None,
+                        help="explicit server host (skips endpoint discovery)")
+    replay.add_argument("--port", type=int, default=None)
+    replay.add_argument("--tick-seconds", type=float, default=0.0,
+                        help="real seconds per sim tick before compression "
+                             "(0 = as fast as possible)")
+    replay.add_argument("--compression", type=float, default=1.0,
+                        help="time-compression factor (pacing divides by it)")
+    replay.add_argument("--connect-timeout", type=float, default=15.0,
+                        help="seconds to wait for a (re)started server")
+    replay.add_argument("--stop-after", type=int, default=None,
+                        help="exit once the server holds this many "
+                             "submissions, without draining (CI kill hook)")
+    replay.add_argument("--no-drain", action="store_true",
+                        help="fetch current metrics instead of running the "
+                             "workload to completion")
+    replay.add_argument("--shutdown", action="store_true",
+                        help="ask the server to checkpoint and exit after "
+                             "the replay")
+    replay.add_argument("--offline", action="store_true",
+                        help="no server: run the batch reference on the "
+                             "same payloads and emit canonical metrics")
+    replay.add_argument("--out", default=None,
+                        help="write canonical metrics JSON here")
+    replay.set_defaults(func=_cmd_replay)
 
     cache_p = sub.add_parser(
         "cache", help="inspect or prune the persistent result cache")

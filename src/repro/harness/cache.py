@@ -22,11 +22,13 @@ reproduces the uncached result byte-for-byte.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import hashlib
 import json
 import os
 import tempfile
+import weakref
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -176,6 +178,30 @@ def decode_result(payload: Dict[str, Any]):
     raise ValueError(f"unknown result kind: {kind!r}")
 
 
+#: Live caches whose unflushed counter deltas should be folded into
+#: STATS.json when the interpreter exits. A WeakSet so registration
+#: never keeps a cache (or its directory handle) alive.
+_LIVE_CACHES: "weakref.WeakSet" = weakref.WeakSet()
+
+
+@atexit.register
+def _flush_counters_at_exit() -> None:
+    """Persist pending counter deltas of still-live caches.
+
+    Callers that never reach an explicit :meth:`ResultCache.flush_counters`
+    (workers that exit after a batch, interrupted sweeps) would otherwise
+    silently drop their hit/miss history. Only caches with a nonzero
+    delta write anything, and failures are swallowed — exit paths must
+    not start raising over observability counters.
+    """
+    for cache in list(_LIVE_CACHES):
+        try:
+            if any(v != cache._flushed[k] for k, v in cache.stats.items()):
+                cache.flush_counters()
+        except Exception:
+            pass
+
+
 class ResultCache:
     """Directory-backed map from fingerprint keys to metrics reports.
 
@@ -209,6 +235,7 @@ class ResultCache:
         # count), so it can trigger a spurious prune but never miss one.
         # prune() resets it to the exact post-eviction total.
         self._approx_bytes: Optional[int] = None
+        _LIVE_CACHES.add(self)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"

@@ -37,6 +37,7 @@ import json
 import multiprocessing as mp
 import os
 import pickle
+import signal
 import socket
 import tempfile
 import threading
@@ -321,6 +322,7 @@ def queue_worker_loop(
     heartbeat: float = 5.0,
     poll: float = 0.2,
     max_idle: Optional[float] = None,
+    handle_signals: bool = False,
 ) -> int:
     """Claim-execute-write until the published batch has every result.
 
@@ -333,8 +335,37 @@ def queue_worker_loop(
     without claiming anything (covers joining before a batch is
     published, or a dead driver). Without ``max_idle``, an absent batch
     returns immediately rather than spinning.
+
+    ``handle_signals`` converts SIGTERM/SIGINT into ``SystemExit`` so an
+    orderly kill releases the in-flight claim (the per-cell ``finally``
+    deletes the ``.claim`` file) instead of parking it until the lease
+    times out. SystemExit deliberately passes through the cell shield —
+    only the lease-timeout path covers ``kill -9``.
     """
-    q = _QueueDir(queue_dir)
+    previous_handlers = {}
+    if handle_signals:
+        def _on_signal(signum, frame):
+            raise SystemExit(128 + signum)
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous_handlers[sig] = signal.signal(sig, _on_signal)
+            except ValueError:
+                pass  # not the main thread; rely on lease timeout
+    try:
+        return _queue_worker_loop(q=_QueueDir(queue_dir),
+                                  worker_id=worker_id,
+                                  lease_timeout=lease_timeout,
+                                  heartbeat=heartbeat, poll=poll,
+                                  max_idle=max_idle)
+    finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
+
+
+def _queue_worker_loop(q: "_QueueDir", worker_id: Optional[str],
+                       lease_timeout: float, heartbeat: float,
+                       poll: float, max_idle: Optional[float]) -> int:
     if worker_id is None:
         worker_id = f"{socket.gethostname()}-{os.getpid()}"
     q.ensure()
@@ -455,7 +486,8 @@ class QueueBackend:
                 kwargs=dict(queue_dir=str(self.queue_dir),
                             worker_id=f"local-{i}",
                             lease_timeout=self.lease_timeout,
-                            heartbeat=self.heartbeat, poll=self.poll),
+                            heartbeat=self.heartbeat, poll=self.poll,
+                            handle_signals=True),
                 daemon=True)
             proc.start()
             procs.append(proc)

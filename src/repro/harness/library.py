@@ -60,6 +60,7 @@ __all__ = [
     "FixedTraceScenario",
     "TraceWindowScenario",
     "plan_trace_windows",
+    "trace_payloads",
     "register_scenario",
     "get_scenario",
     "list_scenarios",
@@ -273,6 +274,18 @@ class FixedTraceScenario(Scenario):
         (``.json[.gz]``, ``.jsonl[.gz]``, or a shard directory)."""
         return cls.from_jobs(load_trace(path), platforms,
                              source=str(path), **kwargs)
+
+
+def trace_payloads(jobs: Sequence[Job]) -> List[dict]:
+    """Canonical wire payloads for a trace, in batch submission order.
+
+    Sorted by ``(arrival_time, job_id)`` — the order the batch path
+    effectively consumes jobs in, and therefore the order the serving
+    replay client must submit them in for the served run to be
+    byte-identical to batch (`repro.serve` re-exports this).
+    """
+    ordered = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+    return [job_payload(job) for job in ordered]
 
 
 def _window_digest(payload_lines) -> str:

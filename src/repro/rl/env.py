@@ -34,3 +34,16 @@ class Env:
     def action_mask(self) -> np.ndarray:
         """Boolean validity mask over the action space (default: all valid)."""
         return np.ones(self.action_space.n, dtype=bool)
+
+    def clone(self, seed: Optional[int] = None) -> "Env":
+        """A sibling environment with this one's full configuration.
+
+        The contract :class:`~repro.rl.vec_env.VecEnv` (``from_env``) and
+        the serving checkpointer rely on: every constructor option is
+        carried over, only the RNG seed may differ, and no episode state
+        leaks between siblings. Concrete environments must implement it
+        by rebuilding from captured constructor arguments (see
+        ``SchedulerEnv.clone``) rather than hand-listing options, which
+        silently drops any option added later.
+        """
+        raise NotImplementedError

@@ -1,0 +1,100 @@
+"""Atomic rolling checkpoints for the serving layer.
+
+One file, ``CHECKPOINT.json``, rewritten in place on a configurable
+cadence. Writes go through a temp file + ``os.replace`` in the same
+directory, so a reader (or a restarting server) only ever sees either
+the previous complete checkpoint or the new complete checkpoint — a
+``kill -9`` mid-write cannot tear it.
+
+The payload bundles the canonical simulation snapshot
+(:func:`repro.sim.snapshot.snapshot_simulation`) with the serving-layer
+state that must survive a restart: the submission count (the client's
+resume index), the submission-index ↔ ``job_id`` mapping, the decision
+log cursor, and the policy's RNG state when it carries one (stochastic
+policies; heuristics with tie-breaking randomness).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_NAME",
+    "ENDPOINT_NAME",
+    "checkpoint_path",
+    "write_checkpoint",
+    "load_checkpoint",
+    "write_endpoint",
+    "load_endpoint",
+]
+
+CHECKPOINT_FORMAT = "repro-serve-checkpoint/1"
+CHECKPOINT_NAME = "CHECKPOINT.json"
+#: Where a running server advertises its bound host/ports (written on
+#: startup, also atomically), so clients and scripts can discover the
+#: actual port after ``--port 0`` and across restarts.
+ENDPOINT_NAME = "ENDPOINT.json"
+
+
+def _write_atomic(path: str, text: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def checkpoint_path(state_dir: str) -> str:
+    return os.path.join(state_dir, CHECKPOINT_NAME)
+
+
+def write_checkpoint(state_dir: str, payload: dict) -> str:
+    """Atomically persist ``payload`` as the rolling checkpoint."""
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(f"checkpoint payload must carry format={CHECKPOINT_FORMAT!r}")
+    path = checkpoint_path(state_dir)
+    _write_atomic(path, json.dumps(payload))
+    return path
+
+
+def load_checkpoint(state_dir: str) -> Optional[dict]:
+    """The current checkpoint, or None when the state dir has none."""
+    path = checkpoint_path(state_dir)
+    try:
+        with open(path, "r") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return None
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"{path}: not a {CHECKPOINT_FORMAT} checkpoint "
+            f"(format={payload.get('format')!r})")
+    return payload
+
+
+def write_endpoint(state_dir: str, endpoint: dict) -> str:
+    path = os.path.join(state_dir, ENDPOINT_NAME)
+    _write_atomic(path, json.dumps(endpoint))
+    return path
+
+
+def load_endpoint(state_dir: str) -> Optional[dict]:
+    try:
+        with open(os.path.join(state_dir, ENDPOINT_NAME), "r") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return None

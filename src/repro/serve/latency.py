@@ -1,0 +1,81 @@
+"""Decision-path latency accounting for the serving layer.
+
+The paper's deployment story lives or dies on the tail of the decision
+path — how long the policy holds the submission pipeline per scheduling
+pass — so p50/p99 µs-per-decision is a first-class serving metric,
+recorded by wrapping the policy rather than instrumenting the kernel
+(the wrapper preserves the quiescence contract, so kernel behaviour is
+bit-identical to running the bare policy).
+
+Latency samples are wall-clock observations, not simulation state: they
+reset on restart and are intentionally absent from checkpoints.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+__all__ = ["LatencyRecorder", "TimedPolicy"]
+
+
+class LatencyRecorder:
+    """Collects per-call durations and summarizes percentiles."""
+
+    def __init__(self) -> None:
+        self.samples_ns: List[int] = []
+
+    def record(self, duration_ns: int) -> None:
+        self.samples_ns.append(duration_ns)
+
+    def percentile_us(self, q: float) -> float:
+        """Nearest-rank percentile in microseconds (0 when empty)."""
+        if not self.samples_ns:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self.samples_ns)
+        rank = max(1, -(-len(ordered) * q // 100))  # ceil(n*q/100), >= 1
+        return ordered[int(rank) - 1] / 1e3
+
+    def summary(self) -> dict:
+        """JSON-ready summary: count, p50/p99/max/mean µs, total ms."""
+        n = len(self.samples_ns)
+        total_ns = sum(self.samples_ns)
+        return {
+            "decisions": n,
+            "p50_us": self.percentile_us(50.0),
+            "p99_us": self.percentile_us(99.0),
+            "max_us": (max(self.samples_ns) / 1e3) if n else 0.0,
+            "mean_us": (total_ns / n / 1e3) if n else 0.0,
+            "total_ms": total_ns / 1e6,
+        }
+
+
+class TimedPolicy:
+    """Transparent timing proxy around a scheduling policy.
+
+    Forwards the kernel-facing contract — ``schedule``, ``quiescence``,
+    and ``next_wakeup`` when the inner policy has one — and records one
+    latency sample per ``schedule`` call. Everything else (``rng``,
+    ``name``, ...) delegates to the inner policy so checkpointing and
+    introspection see through the wrapper.
+    """
+
+    def __init__(self, inner, recorder: Optional[LatencyRecorder] = None) -> None:
+        self.inner = inner
+        self.recorder = recorder if recorder is not None else LatencyRecorder()
+        self.quiescence = getattr(inner, "quiescence", "none")
+        wakeup = getattr(inner, "next_wakeup", None)
+        if wakeup is not None:
+            self.next_wakeup = wakeup
+
+    def schedule(self, sim) -> None:
+        start = time.perf_counter_ns()
+        try:
+            self.inner.schedule(sim)
+        finally:
+            self.recorder.record(time.perf_counter_ns() - start)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)

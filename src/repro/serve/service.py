@@ -1,0 +1,310 @@
+"""Transport-free core of the scheduling service.
+
+:class:`SchedulerService` owns one live simulation plus the serving
+bookkeeping (submission index mapping, decision log cursor, rolling
+checkpoints) and handles protocol messages as plain dicts — the asyncio
+socket server, the HTTP shim, the benchmarks, and the tests all drive
+this same object, so transport code stays out of the correctness path.
+
+Equivalence with the batch path
+-------------------------------
+A submission at arrival tick ``a`` first advances the kernel to exactly
+``a`` (:meth:`EventKernel.advance_to`) and then injects the job
+(:meth:`Simulation.inject_job`). The batch run holding the full trace
+executes the same tick sequence: every tick the watermark walk runs
+live is a tick the batch engines also run (or fast-forward with
+bit-identical bulk effects), extra policy invocations at watermark
+boundaries are no-ops under the declared quiescence contract (and
+consume no RNG), and same-tick submissions in client order reproduce
+the constructor's stable ``(arrival_time, job_id)`` sort because fresh
+job ids increase with submission order. ``drain`` then runs the kernel
+to completion with the same horizon arithmetic as
+``run_policy(max_ticks=...)``. Final metrics are therefore byte-equal
+to ``Simulation(platforms, trace, ...).run_policy(policy, max_ticks)``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.checkpoint import (
+    CHECKPOINT_FORMAT,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.serve.latency import LatencyRecorder, TimedPolicy
+from repro.serve.protocol import PROTOCOL, metrics_payload
+from repro.sim.events import EventKind
+from repro.sim.kernel import EventKernel
+from repro.sim.platform import Platform
+from repro.sim.simulation import Simulation, SimulationConfig
+from repro.sim.snapshot import restore_simulation, snapshot_simulation
+
+__all__ = ["SchedulerService"]
+
+#: Event kinds surfaced to clients as decisions (TICK and ARRIVAL are
+#: protocol noise: the client caused the arrival and clocks the ticks).
+_DECISION_KINDS = frozenset(
+    kind for kind in EventKind
+    if kind not in (EventKind.TICK, EventKind.ARRIVAL)
+)
+
+
+class SchedulerService:
+    """One live scheduling run behind the wire protocol.
+
+    Parameters
+    ----------
+    platforms:
+        The cluster shape (normally ``scenario.platforms``).
+    policy:
+        Scheduling policy with ``schedule(sim)``; wrapped in a
+        :class:`TimedPolicy` so every decision pass is latency-sampled.
+    max_ticks:
+        Simulation horizon, identical in meaning to the batch
+        ``run_policy(max_ticks=...)`` argument.
+    state_dir:
+        Directory for the rolling checkpoint; ``None`` disables
+        checkpointing (and restart recovery).
+    checkpoint_every:
+        Write the checkpoint after every N accepted submissions
+        (plus on ``drain``/``checkpoint``/``shutdown``). 0 disables the
+        cadence while keeping explicit checkpoints.
+    policy_desc:
+        Human-readable policy identity echoed by ``hello``.
+    """
+
+    def __init__(
+        self,
+        platforms: Sequence[Platform],
+        policy,
+        *,
+        max_ticks: Optional[int] = None,
+        drop_on_miss: bool = False,
+        fault_injector=None,
+        energy_meter=None,
+        state_dir: Optional[str] = None,
+        checkpoint_every: int = 64,
+        policy_desc: str = "policy",
+    ) -> None:
+        self.max_ticks = max_ticks
+        self.state_dir = os.fspath(state_dir) if state_dir is not None else None
+        self.checkpoint_every = int(checkpoint_every)
+        self.policy_desc = policy_desc
+        self.recorder = LatencyRecorder()
+        self._raw_policy = policy
+        self.policy = TimedPolicy(policy, self.recorder)
+        self.resumed = False
+        self.drained = False
+
+        checkpoint = (load_checkpoint(self.state_dir)
+                      if self.state_dir is not None else None)
+        if checkpoint is not None:
+            self.sim = restore_simulation(checkpoint["sim"])
+            self.n_submitted = int(checkpoint["n_submitted"])
+            self.job_ids: List[int] = [int(i) for i in checkpoint["job_ids"]]
+            self._log_cursor = int(checkpoint["log_cursor"])
+            self.drained = bool(checkpoint.get("drained", False))
+            self._restore_policy_rng(checkpoint.get("policy_rng"))
+            self.resumed = True
+        else:
+            self.sim = Simulation(
+                list(platforms), [],
+                SimulationConfig(drop_on_miss=drop_on_miss, horizon=max_ticks),
+                fault_injector=fault_injector, energy_meter=energy_meter,
+            )
+            self.n_submitted = 0
+            self.job_ids = []
+            self._log_cursor = 0
+        self._index_of: Dict[int, int] = {
+            job_id: idx for idx, job_id in enumerate(self.job_ids)
+        }
+        self.kernel = EventKernel(self.sim, self.policy)
+
+    # --- policy RNG persistence ------------------------------------------------
+    def _policy_rng_state(self):
+        rng = getattr(self._raw_policy, "rng", None)
+        if isinstance(rng, np.random.Generator):
+            return rng.bit_generator.state
+        return None
+
+    def _restore_policy_rng(self, state) -> None:
+        if state is None:
+            return
+        rng = getattr(self._raw_policy, "rng", None)
+        if not isinstance(rng, np.random.Generator):
+            raise ValueError(
+                "checkpoint carries policy RNG state but the loaded policy "
+                "has no numpy Generator 'rng'")
+        bit_gen = getattr(np.random, state["bit_generator"])()
+        bit_gen.state = state
+        self._raw_policy.rng = np.random.Generator(bit_gen)
+
+    # --- checkpointing ---------------------------------------------------------
+    def checkpoint(self) -> Optional[str]:
+        """Write the rolling checkpoint; returns its path (None if disabled)."""
+        if self.state_dir is None:
+            return None
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "protocol": PROTOCOL,
+            "policy": self.policy_desc,
+            "sim": snapshot_simulation(self.sim),
+            "n_submitted": self.n_submitted,
+            "job_ids": self.job_ids,
+            "log_cursor": self._log_cursor,
+            "drained": self.drained,
+            "policy_rng": self._policy_rng_state(),
+        }
+        return write_checkpoint(self.state_dir, payload)
+
+    def _maybe_checkpoint(self) -> None:
+        if (self.state_dir is not None and self.checkpoint_every > 0
+                and self.n_submitted % self.checkpoint_every == 0):
+            self.checkpoint()
+
+    # --- decision draining -----------------------------------------------------
+    def _drain_decisions(self) -> List[dict]:
+        events = self.sim.log.events
+        out: List[dict] = []
+        for event in events[self._log_cursor:]:
+            if event.kind not in _DECISION_KINDS:
+                continue
+            out.append({
+                "tick": event.time,
+                "kind": event.kind.value,
+                "job": (self._index_of.get(event.job_id)
+                        if event.job_id is not None else None),
+                "platform": event.platform,
+                "parallelism": event.parallelism,
+            })
+        self._log_cursor = len(events)
+        return out
+
+    # --- ops -------------------------------------------------------------------
+    def hello(self) -> dict:
+        return {
+            "ok": True, "op": "hello",
+            "protocol": PROTOCOL,
+            "policy": self.policy_desc,
+            "now": self.sim.now,
+            "n_submitted": self.n_submitted,
+            "max_ticks": self.max_ticks,
+            "resumed": self.resumed,
+            "drained": self.drained,
+        }
+
+    def submit(self, job_payload: dict, index: Optional[int] = None) -> dict:
+        from repro.workload.traces import jobs_from_payload
+
+        if self.drained:
+            raise ValueError("run already drained; no further submissions")
+        if index is not None and int(index) != self.n_submitted:
+            raise ValueError(
+                f"expected submission index {self.n_submitted}, got {index}")
+        job = jobs_from_payload([job_payload])[0]
+        arrival = job.arrival_time
+        if self.job_ids:
+            last = self.sim._all_jobs[-1].arrival_time
+            if arrival < last:
+                raise ValueError(
+                    f"submissions must arrive in non-decreasing arrival order "
+                    f"(got {arrival} after {last})")
+        self.kernel.advance_to(arrival)
+        self.sim.inject_job(job)
+        submitted_index = self.n_submitted
+        self.job_ids.append(job.job_id)
+        self._index_of[job.job_id] = submitted_index
+        self.n_submitted += 1
+        decisions = self._drain_decisions()
+        self._maybe_checkpoint()
+        return {
+            "ok": True, "op": "submit",
+            "index": submitted_index,
+            "now": self.sim.now,
+            "decisions": decisions,
+        }
+
+    def advance(self, to: int) -> dict:
+        to = int(to)
+        if to < self.sim.now:
+            raise ValueError(f"cannot advance to {to}; now is {self.sim.now}")
+        self.kernel.advance_to(to)
+        return {
+            "ok": True, "op": "advance",
+            "now": self.sim.now,
+            "decisions": self._drain_decisions(),
+        }
+
+    def drain(self) -> dict:
+        """Run the remaining workload to completion; final metrics."""
+        remaining = (None if self.max_ticks is None
+                     else self.max_ticks - self.sim.now)
+        report = self.kernel.run(max_ticks=remaining)
+        self.drained = True
+        decisions = self._drain_decisions()
+        if self.state_dir is not None:
+            self.checkpoint()
+        return {
+            "ok": True, "op": "drain",
+            "now": self.sim.now,
+            "decisions": decisions,
+            "metrics": metrics_payload(report),
+        }
+
+    def metrics(self) -> dict:
+        return {
+            "ok": True, "op": "metrics",
+            "now": self.sim.now,
+            "metrics": metrics_payload(self.sim.metrics()),
+        }
+
+    def stats(self) -> dict:
+        kernel = self.kernel.stats
+        return {
+            "ok": True, "op": "stats",
+            "now": self.sim.now,
+            "n_submitted": self.n_submitted,
+            "drained": self.drained,
+            "latency": self.recorder.summary(),
+            "kernel": {
+                "decision_ticks": kernel.decision_ticks,
+                "fast_forwarded": kernel.fast_forwarded,
+                "spans": kernel.spans,
+            },
+        }
+
+    # --- dispatch ---------------------------------------------------------------
+    def handle(self, msg: dict) -> dict:
+        """Dispatch one protocol message; errors become error responses."""
+        op = msg.get("op")
+        try:
+            if op == "hello":
+                return self.hello()
+            if op == "submit":
+                if "job" not in msg:
+                    raise ValueError("submit requires a 'job' payload")
+                return self.submit(msg["job"], msg.get("index"))
+            if op == "advance":
+                if "to" not in msg:
+                    raise ValueError("advance requires 'to'")
+                return self.advance(msg["to"])
+            if op == "drain":
+                return self.drain()
+            if op == "metrics":
+                return self.metrics()
+            if op == "stats":
+                return self.stats()
+            if op == "checkpoint":
+                return {"ok": True, "op": "checkpoint",
+                        "path": self.checkpoint()}
+            if op == "shutdown":
+                if self.state_dir is not None:
+                    self.checkpoint()
+                return {"ok": True, "op": "shutdown"}
+            raise ValueError(f"unknown op {op!r}")
+        except (ValueError, KeyError, TypeError) as exc:
+            return {"ok": False, "op": op, "error": str(exc)}

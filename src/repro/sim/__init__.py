@@ -27,6 +27,7 @@ from repro.sim.faults import FaultInjector, FaultModel, FaultStats
 from repro.sim.energy import EnergyMeter, PowerModel
 from repro.sim.simulation import Simulation, SimulationConfig
 from repro.sim.kernel import EventKernel, KernelStats, WakeupKind
+from repro.sim.snapshot import restore_simulation, snapshot_simulation
 from repro.sim.soa import (
     StateTables, force_vector, object_path, use_vector, vector_enabled,
 )
@@ -42,4 +43,5 @@ __all__ = [
     "FaultInjector", "FaultModel", "FaultStats",
     "EnergyMeter", "PowerModel",
     "Simulation", "SimulationConfig",
+    "snapshot_simulation", "restore_simulation",
 ]

@@ -16,9 +16,22 @@ from typing import Dict, Optional
 
 from repro.sim.speedup import LinearSpeedup, SpeedupModel, cached_speedup
 
-__all__ = ["Job", "JobState"]
+__all__ = ["Job", "JobState", "reserve_job_ids"]
 
 _job_counter = itertools.count()
+
+
+def reserve_job_ids(min_next: int) -> None:
+    """Advance the process-wide job-id counter to at least ``min_next``.
+
+    Restoring a snapshot rebuilds jobs with their recorded ids in a fresh
+    process whose counter starts at 0; without this, later ``Job()``
+    constructions would collide with the restored ids (allocation ledger
+    and event-log queries key on ``job_id``).
+    """
+    global _job_counter
+    nxt = next(_job_counter)
+    _job_counter = itertools.count(max(nxt, min_next))
 
 #: Distinguishes "argument omitted" from an explicit None in the
 #: hand-written ``Job.__init__`` below (mirrors the dataclass factories).

@@ -165,6 +165,48 @@ class EventKernel:
                 break
         return sim.metrics()
 
+    def advance_to(self, target: int) -> int:
+        """Run the simulation forward until ``sim.now == target``.
+
+        The online-serving watermark primitive: before injecting a job
+        that arrives at tick ``target``, the server drives the kernel to
+        exactly that tick. Unlike :meth:`run`, this keeps ticking through
+        states where :meth:`Simulation.is_done` is transiently true — a
+        batch run holding the not-yet-submitted tail of the trace would
+        not be done at the same tick, and must log the same ``TICK``
+        events, utilization samples, and energy steps across the gap.
+
+        Every tick either runs live through ``advance_tick`` (identical
+        to the tick loop) or is fast-forwarded under the same
+        provably-uneventful conditions as :meth:`fast_forward`, with the
+        span additionally capped to land exactly on ``target`` — safe
+        because the first projected event sits strictly beyond any tick
+        the cap trims. ``target`` is clamped to the horizon. Returns the
+        number of ticks advanced.
+        """
+        sim = self.sim
+        if sim.config.horizon is not None:
+            target = min(target, sim.config.horizon)
+        start = sim.now
+        while sim.now < target:
+            if self.policy is not None:
+                self.policy.schedule(sim)
+            sim.advance_tick()
+            self.stats.decision_ticks += 1
+            if sim.now >= target:
+                break
+            nxt = self._future_events()
+            if nxt is None:
+                continue
+            span = min(nxt[0] - sim.now - 1, target - sim.now)
+            if span <= 0:
+                continue
+            self._apply_span(span)
+            self.stats.spans += 1
+            counts = self.stats.span_kind_counts
+            counts[nxt[1].value] = counts.get(nxt[1].value, 0) + 1
+        return sim.now - start
+
     def fast_forward(self, budget: Optional[int] = None) -> int:
         """Skip provably-uneventful ticks in bulk; returns ticks skipped.
 

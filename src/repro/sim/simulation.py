@@ -182,6 +182,41 @@ class Simulation:
             self.tables.adopt(job)  # raises deadline_dirty for the miss scan
         self._all_jobs.append(job)
 
+    def inject_job(self, job: Job) -> None:
+        """Admit an externally-submitted job into a live simulation.
+
+        The online serving layer feeds jobs in as they arrive over the
+        wire instead of handing the full trace to the constructor. A job
+        whose ``arrival_time`` equals the current tick enters the pending
+        queue immediately (with the same ``ARRIVAL`` event the admit scan
+        would log); later arrivals are spliced into the future queue
+        preserving the canonical ``(arrival_time, job_id)`` order, so a
+        run fed incrementally is indistinguishable from one constructed
+        with the whole trace up front.
+        """
+        if job.state is not JobState.PENDING:
+            raise ValueError(f"job {job.job_id} already {job.state.value}")
+        if job.arrival_time < self.now:
+            raise ValueError(
+                f"job {job.job_id} arrives at {job.arrival_time}, "
+                f"before the current tick {self.now}")
+        self._register_job(job)
+        if job.arrival_time <= self.now:
+            self.pending.append(job)
+            self.log.record(Event(self.now, EventKind.ARRIVAL, job.job_id))
+            return
+        future = self._future
+        key = (job.arrival_time, job.job_id)
+        if not future or key >= (future[-1].arrival_time, future[-1].job_id):
+            future.append(job)  # common case: submissions arrive in order
+        else:
+            idx = len(future)
+            while idx > 0 and (future[idx - 1].arrival_time,
+                               future[idx - 1].job_id) > key:
+                idx -= 1
+            future.insert(idx, job)
+        self._next_arrival = future[0].arrival_time
+
     # --- convenience ------------------------------------------------------------
     def run_policy(self, policy, max_ticks: Optional[int] = None,
                    engine: str = "tick") -> MetricsReport:

@@ -113,3 +113,42 @@ class TestLRUNotFIFO:
         cache.prune(max_bytes=size)
         assert cache.get(key_for(0)) is not None    # survived: recently used
         assert cache.get(key_for(1)) is None        # evicted instead
+
+
+class TestAtexitCounterFlush:
+    """In-memory counter deltas survive processes that never flush."""
+
+    def test_counters_flushed_at_interpreter_exit(self, tmp_path):
+        import subprocess
+        import sys
+
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+        # The child takes two misses and exits without calling
+        # flush_counters() — the atexit hook must persist them.
+        child = (
+            "import sys; sys.path.insert(0, %r)\n"
+            "from repro.harness.cache import ResultCache\n"
+            "c = ResultCache(%r)\n"
+            "c.get('00deadbeef')\n"
+            "c.get('00deadbeef')\n"
+        ) % (src, str(tmp_path))
+        subprocess.run([sys.executable, "-c", child], check=True)
+        totals = ResultCache(tmp_path).counters()
+        assert totals["misses"] == 2
+
+    def test_exit_flush_skips_already_flushed_instances(self, tmp_path):
+        from repro.harness.cache import _flush_counters_at_exit
+
+        cache = ResultCache(tmp_path)
+        cache.get("00deadbeef")
+        cache.flush_counters()
+        stats_path = tmp_path / "STATS.json"
+        before = stats_path.read_bytes()
+        mtime = os.stat(stats_path).st_mtime_ns
+        _flush_counters_at_exit()   # no pending delta: must not rewrite
+        assert stats_path.read_bytes() == before
+        assert os.stat(stats_path).st_mtime_ns == mtime
+        cache.get("00deadbeef")     # new delta: now it flushes
+        _flush_counters_at_exit()
+        assert ResultCache(tmp_path).counters()["misses"] == 2

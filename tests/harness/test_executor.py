@@ -248,6 +248,91 @@ class TestQueueProtocol:
             run_cells(small_cells(1)[:1], backend=backend)
 
 
+_SLOW_WORKER_SCRIPT = """\
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.harness.executor import _QueueDir, queue_worker_loop
+
+
+class SlowScenario:
+    engine = "tick"
+
+    def evaluate_segment(self, policy, seed):
+        time.sleep(60)  # far longer than the test; SIGTERM interrupts
+
+
+class SlowCell:
+    scenario = SlowScenario()
+    scenario_name = "slow"
+    scheduler_name = "noop"
+    trace_index = 0
+    trace_seed = 0
+    max_ticks = 1
+
+    def factory(self, scenario):
+        return None
+
+    def describe(self):
+        return "slow cell"
+
+
+q = _QueueDir({qdir!r})
+q.ensure()
+q.write_task("slowkey", SlowCell())
+q.write_batch(["slowkey"])
+queue_worker_loop({qdir!r}, worker_id="victim", poll=0.01,
+                  handle_signals=True)
+"""
+
+
+class TestWorkerSignalHandling:
+    """SIGTERM/SIGINT release the claim lease before the worker exits."""
+
+    def test_sigterm_releases_claim_of_killed_worker(self, tmp_path):
+        import signal
+        import subprocess
+        import sys
+
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        qdir = str(tmp_path / "q")
+        script = tmp_path / "slow_worker.py"
+        script.write_text(_SLOW_WORKER_SCRIPT.format(
+            src=os.path.abspath(src), qdir=qdir))
+        proc = subprocess.Popen([sys.executable, str(script)])
+        try:
+            q = _QueueDir(qdir)
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                if q.claim_path("slowkey").exists():
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("worker never claimed the cell")
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=20)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert code == 128 + signal.SIGTERM
+        # The orderly-kill contract: the lease is gone immediately, so
+        # another worker can claim the cell without waiting out the
+        # lease timeout — and no half-computed result was written.
+        assert not q.claim_path("slowkey").exists()
+        assert not q.has_result("slowkey")
+
+    def test_handlers_restored_after_loop_returns(self, tmp_path):
+        import signal
+
+        before_term = signal.getsignal(signal.SIGTERM)
+        before_int = signal.getsignal(signal.SIGINT)
+        done = queue_worker_loop(tmp_path / "q", worker_id="w",
+                                 handle_signals=True)
+        assert done == 0
+        assert signal.getsignal(signal.SIGTERM) is before_term
+        assert signal.getsignal(signal.SIGINT) is before_int
+
+
 class TestQueueFailureModes:
     def test_cell_failure_propagates_through_queue(self, tmp_path):
         cells = [

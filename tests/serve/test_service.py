@@ -1,0 +1,187 @@
+"""SchedulerService: the serving invariant, transport-free.
+
+The load-bearing property: a served run — jobs submitted one at a time,
+the sim advanced to each arrival, drained at the end — produces final
+metrics *byte-identical* (canonical JSON) to the batch path holding the
+whole trace up front. Pinned with and without a mid-stream crash
+(service dropped between checkpoints, restarted from the state dir),
+including a stochastic policy whose RNG stream must survive the
+restart.
+"""
+
+import pytest
+
+from repro.baselines import baseline_roster
+from repro.harness.library import get_scenario
+from repro.serve import (
+    SchedulerService,
+    batch_reference,
+    decode_line,
+    dumps_metrics,
+    load_checkpoint,
+    trace_payloads,
+)
+
+
+def fresh_policy(name):
+    return dict(baseline_roster())[name]
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return get_scenario("quick")
+
+
+@pytest.fixture(scope="module")
+def payloads(scenario):
+    return trace_payloads(scenario.trace(1000))
+
+
+def make_service(scenario, name, **kw):
+    return SchedulerService(scenario.platforms, fresh_policy(name),
+                            max_ticks=scenario.max_ticks,
+                            policy_desc=name, **kw)
+
+
+def batch_bytes(scenario, payloads, name):
+    return batch_reference(scenario.platforms, payloads, fresh_policy(name),
+                           max_ticks=scenario.max_ticks)
+
+
+class TestServedEqualsBatch:
+    @pytest.mark.parametrize("name", ["fifo", "edf", "greedy-elastic",
+                                      "random"])
+    def test_straight_through(self, scenario, payloads, name):
+        svc = make_service(scenario, name)
+        for i, payload in enumerate(payloads):
+            response = svc.submit(payload, index=i)
+            assert response["ok"]
+        served = dumps_metrics(svc.drain()["metrics"])
+        assert served == batch_bytes(scenario, payloads, name)
+
+    @pytest.mark.parametrize("name", ["greedy-elastic", "random"])
+    def test_crash_restart_mid_stream(self, scenario, payloads, name,
+                                      tmp_path):
+        state = str(tmp_path)
+        first = make_service(scenario, name, state_dir=state,
+                             checkpoint_every=8)
+        for i in range(20):
+            first.submit(payloads[i], index=i)
+        del first  # kill -9 stand-in: no drain, no final checkpoint
+
+        second = make_service(scenario, name, state_dir=state,
+                              checkpoint_every=8)
+        assert second.resumed
+        # The rolling checkpoint lags the crash point by < cadence: the
+        # client resubmits the gap idempotently from the server's index.
+        assert second.n_submitted == 16
+        for i in range(second.n_submitted, len(payloads)):
+            second.submit(payloads[i], index=i)
+        served = dumps_metrics(second.drain()["metrics"])
+        assert served == batch_bytes(scenario, payloads, name)
+
+    def test_restart_after_drain_replays_metrics(self, scenario, payloads,
+                                                 tmp_path):
+        state = str(tmp_path)
+        svc = make_service(scenario, "edf", state_dir=state)
+        for i, payload in enumerate(payloads):
+            svc.submit(payload, index=i)
+        expected = dumps_metrics(svc.drain()["metrics"])
+
+        again = make_service(scenario, "edf", state_dir=state)
+        assert again.resumed and again.drained
+        assert dumps_metrics(again.metrics()["metrics"]) == expected
+        # drain is idempotent: the run is complete, re-draining is a read
+        assert dumps_metrics(again.drain()["metrics"]) == expected
+
+
+class TestProtocolContract:
+    def test_out_of_order_arrival_rejected(self, scenario, payloads):
+        svc = make_service(scenario, "fifo")
+        later = max(payloads, key=lambda p: p["arrival_time"])
+        svc.submit(later, index=0)
+        earlier = min(payloads, key=lambda p: p["arrival_time"])
+        response = svc.handle({"op": "submit", "index": 1, "job": earlier})
+        assert not response["ok"]
+        assert "non-decreasing" in response["error"]
+
+    def test_index_mismatch_rejected(self, scenario, payloads):
+        svc = make_service(scenario, "fifo")
+        svc.submit(payloads[0], index=0)
+        response = svc.handle({"op": "submit", "index": 0,
+                               "job": payloads[1]})
+        assert not response["ok"]
+        assert "expected submission index 1" in response["error"]
+
+    def test_submit_after_drain_rejected(self, scenario, payloads):
+        svc = make_service(scenario, "fifo")
+        svc.submit(payloads[0], index=0)
+        svc.drain()
+        response = svc.handle({"op": "submit", "index": 1,
+                               "job": payloads[1]})
+        assert not response["ok"]
+        assert "drained" in response["error"]
+
+    def test_decisions_use_submission_indices(self, scenario, payloads):
+        svc = make_service(scenario, "fifo")
+        decisions = []
+        for i, payload in enumerate(payloads[:10]):
+            decisions += svc.submit(payload, index=i)["decisions"]
+        decisions += svc.drain()["decisions"]
+        assert decisions, "a full run must produce decisions"
+        for d in decisions:
+            assert d["kind"] not in ("tick", "arrival")
+            if d["job"] is not None:
+                assert 0 <= d["job"] < svc.n_submitted
+        started = {d["job"] for d in decisions if d["kind"] == "start"}
+        assert started  # indices, not raw job ids
+
+    def test_advance_moves_time_without_jobs(self, scenario):
+        svc = make_service(scenario, "fifo")
+        response = svc.handle({"op": "advance", "to": 7})
+        assert response["ok"] and response["now"] == 7
+        backwards = svc.handle({"op": "advance", "to": 3})
+        assert not backwards["ok"]
+
+    def test_unknown_op_is_an_error_response(self, scenario):
+        svc = make_service(scenario, "fifo")
+        response = svc.handle({"op": "frobnicate"})
+        assert not response["ok"] and "unknown op" in response["error"]
+
+    def test_latency_stats_populated(self, scenario, payloads):
+        svc = make_service(scenario, "fifo")
+        for i, payload in enumerate(payloads[:5]):
+            svc.submit(payload, index=i)
+        svc.drain()
+        latency = svc.stats()["latency"]
+        assert latency["decisions"] > 0
+        assert 0 < latency["p50_us"] <= latency["p99_us"] <= latency["max_us"]
+
+    def test_decode_line_rejects_non_objects(self):
+        with pytest.raises(ValueError):
+            decode_line(b"[1, 2, 3]\n")
+
+
+class TestCheckpointFile:
+    def test_wrong_format_rejected(self, tmp_path):
+        import json
+
+        (tmp_path / "CHECKPOINT.json").write_text(
+            json.dumps({"format": "something-else/9"}))
+        with pytest.raises(ValueError, match="not a repro-serve-checkpoint"):
+            load_checkpoint(str(tmp_path))
+
+    def test_missing_reads_as_none(self, tmp_path):
+        assert load_checkpoint(str(tmp_path)) is None
+
+    def test_checkpoint_written_on_cadence(self, scenario, payloads,
+                                           tmp_path):
+        svc = make_service(scenario, "fifo", state_dir=str(tmp_path),
+                           checkpoint_every=4)
+        for i in range(3):
+            svc.submit(payloads[i], index=i)
+        assert load_checkpoint(str(tmp_path)) is None
+        svc.submit(payloads[3], index=3)
+        checkpoint = load_checkpoint(str(tmp_path))
+        assert checkpoint is not None
+        assert checkpoint["n_submitted"] == 4
