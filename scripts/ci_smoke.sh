@@ -5,8 +5,8 @@
 #     bash scripts/ci_smoke.sh sweep trace     # a subset, in order
 #     bash scripts/ci_smoke.sh leaderboard
 #
-# Steps: sweep, trace, stream, queue, leaderboard, parity, bench,
-# nightly-leaderboard.
+# Steps: lint, sweep, trace, stream, queue, leaderboard, serve, parity,
+# bench, nightly-leaderboard.
 # Each step is exactly what .github/workflows/ci.yml runs, so a failure
 # reproduces locally with the same command. Scratch state lives in
 # .ci-cache/ (result cache), .ci-policies/ (policy store), and
@@ -18,6 +18,39 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 CACHE_DIR=.ci-cache
 POLICY_DIR=.ci-policies
 TRACE_DIR=.ci-trace
+
+step_lint() {
+    # Determinism-contract gate. Three parts:
+    #  1. the shipped tree lints clean against the (empty) checked-in
+    #     baseline — any new RNG/ordering/wall-clock/atomic-write/
+    #     snapshot-surface violation fails the build;
+    #  2. the gate is proven *red-capable*: a seeded violation must make
+    #     the linter exit non-zero, so a silently-green linter cannot
+    #     pass CI;
+    #  3. ruff (style/pyflakes tier), skipped gracefully where it is not
+    #     installed — CI installs it via requirements-ci.txt.
+    python -m repro.cli lint src
+    mkdir -p "$TRACE_DIR"
+    local vdir="$TRACE_DIR/lint-violation"
+    rm -rf "$vdir" && mkdir -p "$vdir"
+    cat > "$vdir/seeded_violation.py" <<'EOF'
+import numpy as np
+
+rng = np.random.default_rng()
+EOF
+    if python -m repro.cli lint "$vdir" > "$TRACE_DIR/lint-red.log"; then
+        echo "lint gate FAILED to flag a seeded DET001 violation" >&2
+        exit 1
+    fi
+    grep -q "DET001" "$TRACE_DIR/lint-red.log"
+    rm -rf "$vdir"
+    if command -v ruff >/dev/null 2>&1; then
+        ruff check src
+    else
+        echo "ruff not installed; skipping style tier (CI installs it)"
+    fi
+    echo "lint smoke: tree clean, gate red-capable"
+}
 
 step_sweep() {
     # Parallel scheduler sweep, cold then warm: the second run must be
@@ -220,6 +253,7 @@ step_nightly_leaderboard() {
 
 run_step() {
     case "$1" in
+        lint)                step_lint ;;
         sweep)               step_sweep ;;
         trace)               step_trace ;;
         stream)              step_stream ;;
@@ -229,13 +263,14 @@ run_step() {
         parity)              step_parity ;;
         bench)               step_bench ;;
         nightly-leaderboard) step_nightly_leaderboard ;;
-        *) echo "unknown step '$1' (sweep|trace|stream|queue|leaderboard|" \
-                "serve|parity|bench|nightly-leaderboard)" >&2; exit 2 ;;
+        *) echo "unknown step '$1' (lint|sweep|trace|stream|queue|" \
+                "leaderboard|serve|parity|bench|nightly-leaderboard)" >&2
+           exit 2 ;;
     esac
 }
 
 if [ "$#" -eq 0 ]; then
-    set -- sweep trace stream queue leaderboard serve parity bench
+    set -- lint sweep trace stream queue leaderboard serve parity bench
 fi
 for step in "$@"; do
     echo "=== ci_smoke: $step ==="

@@ -40,6 +40,10 @@ class DRLScheduler:
         self.encoder = StateEncoder(config, platform_names, work_scale=work_scale)
         self.actions = SchedulingActionSpace(config, platform_names)
         self.greedy = greedy
+        # Greedy decoding (the default) never draws from this generator;
+        # the fixed fallback only pins stochastic decoding when the
+        # caller didn't thread a seed, keeping evaluations repeatable.
+        # repro: allow[DET001]
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.name = "drl"
         # Kernel contract (repro.sim.kernel): with nothing pending and

@@ -27,7 +27,6 @@ import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 import weakref
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -35,6 +34,7 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from repro.sim.metrics import MetricsReport, SegmentMetrics
+from repro.util.io import atomic_write_json
 
 __all__ = ["fingerprint", "ResultCache", "DEFAULT_CACHE_DIR",
            "encode_result", "decode_result"]
@@ -264,19 +264,8 @@ class ResultCache:
         evicted afterwards until the cache fits.
         """
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = encode_result(report)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, default=_json_coerce)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(path, payload, default=_json_coerce)
         if self.max_bytes is not None:
             if self._approx_bytes is None:
                 self._approx_bytes = self.size_bytes()
@@ -302,7 +291,7 @@ class ResultCache:
             raise ValueError("prune needs max_bytes (argument or instance cap)")
         entries = []
         total = 0
-        for path in self.root.glob("*/*.json"):
+        for path in sorted(self.root.glob("*/*.json")):
             try:
                 st = path.stat()
             except OSError:
@@ -330,7 +319,7 @@ class ResultCache:
     def size_bytes(self) -> int:
         """Total on-disk size of all entries."""
         total = 0
-        for path in self.root.glob("*/*.json"):
+        for path in sorted(self.root.glob("*/*.json")):
             try:
                 total += path.stat().st_size
             except OSError:
@@ -341,7 +330,7 @@ class ResultCache:
         """Delete every entry; returns the number of entries removed."""
         removed = 0
         if self.root.is_dir():
-            for path in self.root.glob("*/*.json"):
+            for path in sorted(self.root.glob("*/*.json")):
                 path.unlink()
                 removed += 1
         return removed
@@ -349,7 +338,7 @@ class ResultCache:
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in sorted(self.root.glob("*/*.json")))
 
     @property
     def stats(self) -> Dict[str, int]:
@@ -384,16 +373,5 @@ class ResultCache:
         totals = self.counters()
         for k, v in delta.items():
             totals[k] += v
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(totals, fh)
-            os.replace(tmp, self.root / _STATS_NAME)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(self.root / _STATS_NAME, totals)
         return totals

@@ -39,7 +39,6 @@ import os
 import pickle
 import signal
 import socket
-import tempfile
 import threading
 import time
 import warnings
@@ -48,6 +47,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.cache import ResultCache, decode_result, encode_result
+from repro.util.io import atomic_write_bytes
 from repro.harness.parallel import (
     CellFailure,
     EvalCell,
@@ -165,19 +165,9 @@ class _QueueDir:
         for d in (self.tasks, self.claims, self.results):
             d.mkdir(parents=True, exist_ok=True)
 
-    # --- atomic JSON/pickle writes (temp file + rename) ----------------
+    # --- atomic JSON/pickle writes (shared helper) ----------------------
     def _write_atomic(self, path: Path, data: bytes) -> None:
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(data)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_bytes(path, data)
 
     # --- tasks ----------------------------------------------------------
     def task_path(self, key: str) -> Path:
@@ -192,8 +182,9 @@ class _QueueDir:
 
     # --- batch manifest -------------------------------------------------
     def write_batch(self, keys: Sequence[str]) -> None:
-        self._write_atomic(self.batch_path,
-                           json.dumps({"cells": list(keys)}).encode())
+        self._write_atomic(
+            self.batch_path,
+            json.dumps({"cells": list(keys)}, sort_keys=True).encode())
 
     def batch_keys(self) -> Optional[List[str]]:
         try:
@@ -222,12 +213,17 @@ class _QueueDir:
 
         def create() -> bool:
             try:
+                # The claim *is* the O_EXCL creation: exactly one worker
+                # may win, so an atomic-replace write (which always
+                # succeeds) would break the mutual exclusion.
+                # repro: allow[ATOM001]
                 fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
                 return False
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 fh.write(json.dumps({"worker": worker_id, "pid": os.getpid(),
-                                     "host": socket.gethostname()}))
+                                     "host": socket.gethostname()},
+                                    sort_keys=True))
             return True
 
         if create():
@@ -289,7 +285,8 @@ class _QueueDir:
         else:
             desc, err, tb = payload
             doc = {"status": "err", "failure": [desc, err, tb]}
-        self._write_atomic(self.result_path(key), json.dumps(doc).encode())
+        self._write_atomic(self.result_path(key),
+                           json.dumps(doc, sort_keys=True).encode())
 
     def read_result(self, key: str) -> Outcome:
         with open(self.result_path(key), encoding="utf-8") as fh:

@@ -57,6 +57,10 @@ def bootstrap_ci(
     mean = float(x.mean())
     if x.size == 1:
         return MeanCI(mean, mean, mean, level)
+    # Default fixed resample stream: CIs quoted in artifacts must be
+    # identical on every rebuild; callers needing independent resamples
+    # pass their own generator.
+    # repro: allow[DET001]
     rng = rng if rng is not None else np.random.default_rng(0)
     idx = rng.integers(0, x.size, size=(n_boot, x.size))
     boots = x[idx].mean(axis=1)
@@ -85,6 +89,9 @@ def paired_permutation_test(
     observed = abs(diff.mean())
     if observed == 0.0:
         return 1.0
+    # Same fixed-stream contract as bootstrap_ci: published p-values
+    # must not drift between reruns.
+    # repro: allow[DET001]
     rng = rng if rng is not None else np.random.default_rng(0)
     signs = rng.choice([-1.0, 1.0], size=(n_perm, diff.size))
     null = np.abs((signs * diff).mean(axis=1))

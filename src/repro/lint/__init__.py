@@ -1,0 +1,65 @@
+"""Determinism-contract linter (``repro.cli lint``).
+
+AST-based static analysis enforcing the invariants the rest of the repo
+is built on: seeded RNG threaded from configuration (DET001), sorted
+filesystem enumeration (DET002), wall-clock confinement (DET003),
+no ordered output derived from set iteration (DET004), atomic canonical
+writes into managed state dirs (ATOM001), and a complete snapshot
+surface (SNAP001). See ARCHITECTURE.md for the rule table and the
+waiver/baseline workflow.
+"""
+
+from repro.lint.autofix import FIXABLE_RULES, fix_file, fix_source
+from repro.lint.baseline import (
+    BASELINE_FORMAT,
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.lint.findings import SEVERITIES, Finding
+from repro.lint.framework import (
+    FileContext,
+    FileRule,
+    LintResult,
+    ProjectRule,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    module_key,
+    register,
+    resolve_rules,
+    rule_registry,
+)
+from repro.lint.report import render_json, render_text, summarize
+from repro.lint.snapshot_surface import check_snapshot_surface
+from repro.lint.waivers import collect_waivers
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "FileContext",
+    "FileRule",
+    "ProjectRule",
+    "LintResult",
+    "register",
+    "rule_registry",
+    "resolve_rules",
+    "iter_python_files",
+    "module_key",
+    "lint_file",
+    "lint_paths",
+    "collect_waivers",
+    "check_snapshot_surface",
+    "BASELINE_FORMAT",
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "save_baseline",
+    "apply_baseline",
+    "render_text",
+    "render_json",
+    "summarize",
+    "FIXABLE_RULES",
+    "fix_source",
+    "fix_file",
+]

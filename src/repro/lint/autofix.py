@@ -1,0 +1,150 @@
+"""Autofixes for the mechanical determinism rules (``lint --fix``).
+
+Only rules whose fix is a pure, semantics-preserving insertion are
+automated:
+
+* **DET002 / DET004** — wrap the offending enumeration/set expression
+  in ``sorted(...)``,
+* **ATOM001** (the ``json.dump``/``dumps`` shape only) — append
+  ``sort_keys=True`` to the call.
+
+Structural ATOM001 findings (hand-rolled ``mkstemp``/``os.replace``
+sequences, bare ``open(..., "w")``) require judgment about fsync needs
+and error paths, so they stay manual.
+
+Fixes are computed from one parse as text insertions, applied back to
+front so earlier offsets stay valid, and the rewrite loops to a
+fixpoint — running ``--fix`` twice is a no-op, which the test suite
+asserts. Waived lines are never rewritten.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.framework import annotate_parents, module_key
+from repro.lint.rules import (
+    atom001_in_scope,
+    build_aliases,
+    fs_iteration_target,
+    is_set_valued,
+    is_sorted_wrapped,
+    json_dump_without_sort_keys,
+)
+from repro.lint.waivers import collect_waivers
+from repro.util.io import atomic_write_text
+
+__all__ = ["FIXABLE_RULES", "fix_source", "fix_file"]
+
+FIXABLE_RULES = ("ATOM001", "DET002", "DET004")
+
+_MAX_PASSES = 10
+
+
+def _line_offsets(source: str) -> List[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _abs(offsets: List[int], line: int, col: int) -> int:
+    return offsets[line - 1] + col
+
+
+def _wrap_edits(offsets: List[int],
+                node: ast.AST) -> List[Tuple[int, int, str]]:
+    """Insertions wrapping ``node``'s source span in ``sorted(...)``.
+
+    Each edit is ``(offset, priority, text)``; priority breaks ties so
+    a closing paren lands inside any insertion at the same offset.
+    """
+    start = _abs(offsets, node.lineno, node.col_offset)
+    end = _abs(offsets, node.end_lineno, node.end_col_offset)
+    return [(start, 1, "sorted("), (end, 0, ")")]
+
+
+def _sort_keys_edit(source: str, offsets: List[int],
+                    node: ast.Call) -> Tuple[int, int, str]:
+    """Insertion adding ``sort_keys=True`` before the closing paren."""
+    close = _abs(offsets, node.end_lineno, node.end_col_offset) - 1
+    cursor = close - 1
+    while cursor >= 0 and source[cursor] in " \t\r\n":
+        cursor -= 1
+    if cursor >= 0 and source[cursor] == ",":
+        return (close, 0, " sort_keys=True")
+    return (close, 0, ", sort_keys=True")
+
+
+def _collect_edits(source: str, module: str,
+                   rules: Sequence[str]) -> List[Tuple[int, int, str]]:
+    tree = ast.parse(source)
+    annotate_parents(tree)
+    aliases = build_aliases(tree)
+    waivers = collect_waivers(source)
+    offsets = _line_offsets(source)
+    atom_scope = "ATOM001" in rules and atom001_in_scope(module, source)
+
+    def waived(node: ast.AST, rule_id: str) -> bool:
+        return rule_id in waivers.get(node.lineno, ())
+
+    edits: List[Tuple[int, int, str]] = []
+    seen_spans: Set[Tuple[int, int]] = set()
+
+    def wrap_once(node: ast.AST) -> None:
+        span = (node.lineno, node.col_offset)
+        if span not in seen_spans:
+            seen_spans.add(span)
+            edits.extend(_wrap_edits(offsets, node))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            if ("DET002" in rules
+                    and fs_iteration_target(node, aliases) is not None
+                    and not is_sorted_wrapped(node)
+                    and not waived(node, "DET002")):
+                wrap_once(node)
+            if (atom_scope
+                    and json_dump_without_sort_keys(node, aliases)
+                    and not waived(node, "ATOM001")):
+                edits.append(_sort_keys_edit(source, offsets, node))
+        iters: List[ast.AST] = []
+        if isinstance(node, ast.For):
+            iters.append(node.iter)
+        elif isinstance(node, ast.comprehension):
+            iters.append(node.iter)
+        if "DET004" in rules:
+            for it in iters:
+                if (is_set_valued(it, aliases)
+                        and not is_sorted_wrapped(it)
+                        and not waived(it, "DET004")):
+                    wrap_once(it)
+    return edits
+
+
+def fix_source(source: str, module: str = "",
+               rules: Optional[Sequence[str]] = None) -> Tuple[str, int]:
+    """Apply autofixes to ``source``; returns (new_source, n_edits)."""
+    selected = tuple(rules) if rules is not None else FIXABLE_RULES
+    total = 0
+    for _ in range(_MAX_PASSES):
+        edits = _collect_edits(source, module, selected)
+        if not edits:
+            break
+        for offset, _prio, text in sorted(edits, reverse=True):
+            source = source[:offset] + text + source[offset:]
+        total += len(edits)
+        ast.parse(source)  # a broken rewrite must fail loudly, pre-write
+    return source, total
+
+
+def fix_file(path: Path,
+             rules: Optional[Sequence[str]] = None) -> int:
+    """Rewrite ``path`` in place; returns the number of edits applied."""
+    source = path.read_text(encoding="utf-8")
+    fixed, n_edits = fix_source(source, module_key(path), rules)
+    if n_edits and fixed != source:
+        atomic_write_text(path, fixed)
+    return n_edits

@@ -1,0 +1,218 @@
+"""SNAP001 — the snapshot surface must cover live simulation state.
+
+``repro-sim-snapshot/1`` promises that a restored :class:`Simulation`
+continues **bit-for-bit**. That promise silently breaks the moment
+someone adds ``self.new_counter = 0`` to ``Simulation.__init__`` without
+teaching :mod:`repro.sim.snapshot` about it: snapshot/restore still
+round-trips, tests that don't touch the new field still pass, and the
+divergence surfaces weeks later as a non-reproducible serve restart.
+
+This cross-module rule closes that gap statically. ``sim/snapshot.py``
+declares the contract as four frozensets of attribute names::
+
+    SIMULATION_SNAPSHOT_ATTRS   # captured by snapshot_simulation
+    SIMULATION_DERIVED_ATTRS    # provably reconstructed on restore
+    KERNEL_SNAPSHOT_ATTRS       # (kernel is rebuilt fresh: empty)
+    KERNEL_DERIVED_ATTRS
+
+and SNAP001 checks, by AST alone (no imports, works on broken code):
+
+* every ``self.X`` assigned in ``Simulation.__init__`` /
+  ``EventKernel.__init__`` appears in exactly one of its class's two
+  sets — an undeclared attribute is an **error** at the assignment;
+* every declared attribute is actually assigned in ``__init__`` — a
+  stale declaration is a **warning** at the declaration site.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.framework import ProjectRule, module_key, register
+
+__all__ = [
+    "DECLARATION_NAMES",
+    "check_snapshot_surface",
+    "SnapshotSurfaceRule",
+]
+
+#: (class name, module suffix, declaration-set prefix)
+_SURFACES = (
+    ("Simulation", "sim/simulation.py", "SIMULATION"),
+    ("EventKernel", "sim/kernel.py", "KERNEL"),
+)
+
+DECLARATION_NAMES = tuple(
+    f"{prefix}_{suffix}"
+    for _, _, prefix in _SURFACES
+    for suffix in ("SNAPSHOT_ATTRS", "DERIVED_ATTRS")
+)
+
+
+def _parse(path: Path) -> Optional[ast.AST]:
+    try:
+        return ast.parse(path.read_text(encoding="utf-8"),
+                         filename=str(path))
+    except (OSError, SyntaxError, ValueError):
+        return None
+
+
+def _declaration_sets(tree: ast.AST):
+    """Extract ``NAME = frozenset({...})`` string sets and their lines."""
+    sets: Dict[str, Tuple[set, int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name)
+                and target.id in DECLARATION_NAMES):
+            continue
+        value = node.value
+        names: set = set()
+        ok = (isinstance(value, ast.Call)
+              and isinstance(value.func, ast.Name)
+              and value.func.id == "frozenset")
+        if ok and value.args:
+            literal = value.args[0]
+            if isinstance(literal, (ast.Set, ast.List, ast.Tuple)):
+                for elt in literal.elts:
+                    if (isinstance(elt, ast.Constant)
+                            and isinstance(elt.value, str)):
+                        names.add(elt.value)
+                    else:
+                        ok = False
+            else:
+                ok = False
+        if ok:
+            sets[target.id] = (names, node.lineno)
+    return sets
+
+
+def _init_attrs(tree: ast.AST, class_name: str) -> Optional[Dict[str, int]]:
+    """``self.X`` names assigned in ``class_name.__init__`` -> first line.
+
+    Returns None when the class or its ``__init__`` is absent.
+    """
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.ClassDef) and node.name == class_name):
+            continue
+        for item in node.body:
+            if not (isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "__init__"):
+                continue
+            attrs: Dict[str, int] = {}
+            for sub in ast.walk(item):
+                targets: List[ast.AST] = []
+                if isinstance(sub, ast.Assign):
+                    targets = list(sub.targets)
+                elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [sub.target]
+                for target in targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        attrs.setdefault(target.attr, target.lineno)
+            return attrs
+    return None
+
+
+def check_snapshot_surface(
+    simulation_path: Path,
+    kernel_path: Path,
+    snapshot_path: Path,
+    display: Optional[Dict[Path, str]] = None,
+) -> List[Finding]:
+    """Check the snapshot-surface contract across the three modules.
+
+    Parameterized by path so tests can point it at fixture trios; the
+    registered project rule calls it with the real ``repro.sim`` files.
+    """
+    display = display or {}
+
+    def name_of(path: Path) -> str:
+        return display.get(path, str(path))
+
+    findings: List[Finding] = []
+    snap_tree = _parse(snapshot_path)
+    if snap_tree is None:
+        return [Finding(path=name_of(snapshot_path), line=1, col=0,
+                        rule_id="SNAP001", severity="error",
+                        message="cannot parse snapshot module to read "
+                                "the declared snapshot surface")]
+    declared = _declaration_sets(snap_tree)
+    init_files = {"sim/simulation.py": simulation_path,
+                  "sim/kernel.py": kernel_path}
+
+    for class_name, suffix, prefix in _SURFACES:
+        snap_name = f"{prefix}_SNAPSHOT_ATTRS"
+        derived_name = f"{prefix}_DERIVED_ATTRS"
+        missing = [n for n in (snap_name, derived_name) if n not in declared]
+        if missing:
+            findings.append(Finding(
+                path=name_of(snapshot_path), line=1, col=0,
+                rule_id="SNAP001", severity="error",
+                message=f"snapshot module does not declare "
+                        f"{' and '.join(missing)} as frozenset string "
+                        f"literals; the {class_name} snapshot surface "
+                        "is unchecked"))
+            continue
+        snap_attrs, snap_line = declared[snap_name]
+        derived_attrs, derived_line = declared[derived_name]
+        for attr in sorted(snap_attrs & derived_attrs):
+            findings.append(Finding(
+                path=name_of(snapshot_path), line=snap_line, col=0,
+                rule_id="SNAP001", severity="error",
+                message=f"attribute {attr!r} declared in both "
+                        f"{snap_name} and {derived_name}; pick one"))
+
+        init_path = init_files[suffix]
+        tree = _parse(init_path)
+        attrs = _init_attrs(tree, class_name) if tree is not None else None
+        if attrs is None:
+            findings.append(Finding(
+                path=name_of(init_path), line=1, col=0,
+                rule_id="SNAP001", severity="error",
+                message=f"cannot locate {class_name}.__init__ to check "
+                        "its snapshot surface"))
+            continue
+        covered = snap_attrs | derived_attrs
+        for attr in sorted(set(attrs) - covered):
+            findings.append(Finding(
+                path=name_of(init_path), line=attrs[attr], col=0,
+                rule_id="SNAP001", severity="error",
+                message=f"{class_name}.__init__ sets attribute {attr!r} "
+                        f"that is neither serialized ({snap_name}) nor "
+                        f"declared derived ({derived_name}) in "
+                        "sim/snapshot.py — a restored run would "
+                        "silently diverge"))
+        for attr in sorted(covered - set(attrs)):
+            line = snap_line if attr in snap_attrs else derived_line
+            findings.append(Finding(
+                path=name_of(snapshot_path), line=line, col=0,
+                rule_id="SNAP001", severity="warning",
+                message=f"declared snapshot-surface attribute {attr!r} "
+                        f"is never assigned in {class_name}.__init__; "
+                        "remove the stale declaration"))
+    return findings
+
+
+@register
+class SnapshotSurfaceRule(ProjectRule):
+    rule_id = "SNAP001"
+    description = ("Every attribute set in Simulation.__init__ / "
+                   "EventKernel.__init__ must be serialized by "
+                   "sim/snapshot.py or declared derived/excluded.")
+
+    def check(self, files: Sequence[Path],
+              display: Dict[Path, str]) -> List[Finding]:
+        by_module = {module_key(f): f for f in files}
+        trio = [by_module.get(f"repro/{suffix}") for suffix in
+                ("sim/simulation.py", "sim/kernel.py", "sim/snapshot.py")]
+        if any(p is None for p in trio):
+            # The lint scope doesn't include the sim trio (e.g. linting
+            # a single harness file); nothing to check.
+            return []
+        return check_snapshot_surface(trio[0], trio[1], trio[2], display)

@@ -1,0 +1,67 @@
+"""Inline waiver comments: ``# repro: allow[RULE]``.
+
+A waiver acknowledges a finding as *correct by contract* at that exact
+site — a deliberately fixed RNG stream, an ``O_CREAT | O_EXCL`` lock
+file that must not be written through the atomic-rename helper. Waivers
+carry their justification in the surrounding comment, so the contract
+stays reviewable where the code is.
+
+Syntax (one or more rule ids, comma separated)::
+
+    age = time.time() - start  # repro: allow[DET003] lease staleness is wall-clock
+    # repro: allow[DET001,DET003] -- fixed stream is the artifact contract
+    rng = np.random.default_rng(0)
+
+A trailing waiver applies to its own (logical) line. A standalone
+comment line applies to the next non-blank, non-comment line, so
+long call expressions can be waived without overflowing the line.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set
+
+__all__ = ["WAIVER_RE", "collect_waivers"]
+
+WAIVER_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)\]")
+
+
+def collect_waivers(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule ids waived on that line.
+
+    Tokenizes rather than regex-scanning raw lines so a waiver-shaped
+    substring inside a string literal is never treated as a waiver.
+    Unreadable source (tokenize errors) yields no waivers — the caller
+    will surface the parse failure separately.
+    """
+    waivers: Dict[int, Set[str]] = {}
+    standalone: list = []  # (line, rules) for comment-only lines
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return waivers
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = WAIVER_RE.search(tok.string)
+        if match is None:
+            continue
+        rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+        line = tok.start[0]
+        waivers.setdefault(line, set()).update(rules)
+        text = lines[line - 1] if line <= len(lines) else ""
+        if text.lstrip().startswith("#"):
+            standalone.append((line, rules))
+    # A standalone waiver comment also covers the next code line.
+    for line, rules in standalone:
+        for nxt in range(line + 1, len(lines) + 1):
+            text = lines[nxt - 1].strip()
+            if not text or text.startswith("#"):
+                continue
+            waivers.setdefault(nxt, set()).update(rules)
+            break
+    return waivers

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from typing import Optional
+
+from repro.util.io import atomic_write_text
 
 __all__ = [
     "CHECKPOINT_FORMAT",
@@ -41,21 +42,8 @@ ENDPOINT_NAME = "ENDPOINT.json"
 
 
 def _write_atomic(path: str, text: str) -> None:
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+    # fsync: a checkpoint must survive power loss, not just kill -9.
+    atomic_write_text(path, text, fsync=True)
 
 
 def checkpoint_path(state_dir: str) -> str:
@@ -67,7 +55,7 @@ def write_checkpoint(state_dir: str, payload: dict) -> str:
     if payload.get("format") != CHECKPOINT_FORMAT:
         raise ValueError(f"checkpoint payload must carry format={CHECKPOINT_FORMAT!r}")
     path = checkpoint_path(state_dir)
-    _write_atomic(path, json.dumps(payload))
+    _write_atomic(path, json.dumps(payload, sort_keys=True))
     return path
 
 
@@ -88,7 +76,7 @@ def load_checkpoint(state_dir: str) -> Optional[dict]:
 
 def write_endpoint(state_dir: str, endpoint: dict) -> str:
     path = os.path.join(state_dir, ENDPOINT_NAME)
-    _write_atomic(path, json.dumps(endpoint))
+    _write_atomic(path, json.dumps(endpoint, sort_keys=True))
     return path
 
 

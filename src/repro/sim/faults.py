@@ -105,6 +105,10 @@ class FaultInjector:
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.models: Dict[str, FaultModel] = dict(models)
+        # Default seed makes an injector constructed without an explicit
+        # generator reproducible rather than nondeterministic; scenario
+        # builders thread per-trace seeds through ``rng``.
+        # repro: allow[DET001]
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.stats = FaultStats()
 

@@ -45,9 +45,70 @@ from repro.sim.job import Job, JobState, reserve_job_ids
 from repro.sim.platform import Platform
 from repro.sim.simulation import Simulation, SimulationConfig
 
-__all__ = ["SNAPSHOT_FORMAT", "snapshot_simulation", "restore_simulation"]
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SIMULATION_SNAPSHOT_ATTRS",
+    "SIMULATION_DERIVED_ATTRS",
+    "KERNEL_SNAPSHOT_ATTRS",
+    "KERNEL_DERIVED_ATTRS",
+    "snapshot_simulation",
+    "restore_simulation",
+]
 
 SNAPSHOT_FORMAT = "repro-sim-snapshot/1"
+
+# --- declared snapshot surface (checked statically by lint rule SNAP001) ---
+# Every attribute assigned in ``Simulation.__init__`` must appear in
+# exactly one of the two sets below: captured by ``snapshot_simulation``
+# or provably reconstructed by ``restore_simulation``. The linter fails
+# the build when a new ``self.X`` shows up undeclared, so live state can
+# never silently fall outside the restart contract. Keep these literal
+# frozensets of strings — SNAP001 reads them from the AST.
+
+#: Attributes captured (directly or as an encoded projection) in the
+#: snapshot payload: ``_future``/``pending``/``completed``/``dropped``
+#: as job-id lists, ``log`` as the event list, ``cluster`` via
+#: platforms/allocations/offline, ``_all_jobs`` as full job entries.
+SIMULATION_SNAPSHOT_ATTRS = frozenset({
+    "config",
+    "log",
+    "cluster",
+    "fault_injector",
+    "energy_meter",
+    "_future",
+    "pending",
+    "completed",
+    "dropped",
+    "now",
+    "utilization_series",
+    "_all_jobs",
+})
+
+#: Attributes rebuilt from the captured state on restore: ``tables`` is
+#: the cluster's SoA tables re-adopted from the job list, ``_miss_bound``
+#: is recomputed after ``deadline_dirty`` is raised, ``_next_arrival``
+#: mirrors ``_future[0]``.
+SIMULATION_DERIVED_ATTRS = frozenset({
+    "tables",
+    "_miss_bound",
+    "_next_arrival",
+})
+
+#: The kernel holds no durable state: a restarted server constructs a
+#: fresh ``EventKernel`` around the restored simulation, so nothing in
+#: its ``__init__`` is serialized.
+KERNEL_SNAPSHOT_ATTRS = frozenset()
+
+#: ``sim`` is the restored simulation itself; ``policy``/``_quiescence``
+#: /``_wakeup_fn`` are re-derived from the policy object the caller
+#: supplies; ``stats`` are per-process wall-clock diagnostics.
+KERNEL_DERIVED_ATTRS = frozenset({
+    "sim",
+    "policy",
+    "stats",
+    "_quiescence",
+    "_wakeup_fn",
+})
 
 
 def _job_entry(job: Job) -> dict:

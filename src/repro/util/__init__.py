@@ -1,0 +1,15 @@
+"""Shared low-level utilities (atomic filesystem writes)."""
+
+from repro.util.io import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+)
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "atomic_writer",
+]

@@ -1,0 +1,115 @@
+"""The one atomic-write helper every durable artifact routes through.
+
+Crash consistency across the repo rests on a single discipline: write to
+a ``mkstemp`` temp file *in the destination directory* (same filesystem,
+so the rename cannot degrade to a copy), optionally ``fsync``, then
+``os.replace`` onto the final name. A reader — another worker sharing
+the cache/queue directory, or a process restarting after ``kill -9`` —
+only ever observes either the previous complete file or the new complete
+file, never a torn write. Concurrent writers race benignly:
+last-replace-wins, and every byte sequence they could install is a
+complete document.
+
+Before this module, four subsystems (result cache, work queue,
+leaderboard policy store, serving checkpointer) each hand-rolled the
+pattern. Centralizing it makes the discipline checkable: the
+determinism-contract linter (:mod:`repro.lint`, rule ``ATOM001``) flags
+``mkstemp``/``os.replace``/bare ``open(..., "w")`` in modules that write
+into managed state directories and points here instead.
+
+``atomic_write_json`` defaults to ``sort_keys=True``: canonical JSON
+artifacts must not depend on dict construction order, so byte-identity
+comparisons (workers 1/2/4, cold/warm cache, served vs batch) stay
+meaningful as code is refactored.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "atomic_writer",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+]
+
+
+@contextmanager
+def atomic_writer(
+    path: os.PathLike,
+    mode: str = "w",
+    encoding: Optional[str] = None,
+    fsync: bool = False,
+    make_parents: bool = True,
+) -> Iterator[Any]:
+    """Open a temp file that atomically replaces ``path`` on clean exit.
+
+    ``mode`` must be a write mode (``"w"`` or ``"wb"``). On any
+    exception the temp file is removed and ``path`` is left untouched.
+    ``fsync=True`` flushes file contents to disk before the rename —
+    required for checkpoints that must survive power loss, skipped for
+    caches where a lost entry only costs a recompute.
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_writer mode must be 'w' or 'wb', got {mode!r}")
+    if encoding is None and mode == "w":
+        encoding = "utf-8"
+    target = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(target))
+    if make_parents:
+        os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, mode, encoding=encoding) as handle:
+            yield handle
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_bytes(path: os.PathLike, data: bytes,
+                       fsync: bool = False) -> None:
+    """Atomically install ``data`` as the contents of ``path``."""
+    with atomic_writer(path, "wb", fsync=fsync) as handle:
+        handle.write(data)
+
+
+def atomic_write_text(path: os.PathLike, text: str, fsync: bool = False,
+                      encoding: str = "utf-8") -> None:
+    """Atomically install ``text`` as the contents of ``path``."""
+    with atomic_writer(path, "w", encoding=encoding, fsync=fsync) as handle:
+        handle.write(text)
+
+
+def atomic_write_json(
+    path: os.PathLike,
+    payload: Any,
+    *,
+    sort_keys: bool = True,
+    indent: Optional[int] = None,
+    default=None,
+    fsync: bool = False,
+) -> None:
+    """Atomically write ``payload`` as JSON (canonical key order).
+
+    ``sort_keys`` defaults to True so the emitted bytes are independent
+    of dict construction order — the property every byte-identity
+    invariant in the harness and serving layers leans on. Pass
+    ``sort_keys=False`` only for files whose byte layout is pinned by an
+    existing on-disk format.
+    """
+    text = json.dumps(payload, sort_keys=sort_keys, indent=indent,
+                      default=default)
+    atomic_write_text(path, text, fsync=fsync)

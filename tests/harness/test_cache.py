@@ -152,3 +152,52 @@ class TestAtexitCounterFlush:
         cache.get("00deadbeef")     # new delta: now it flushes
         _flush_counters_at_exit()
         assert ResultCache(tmp_path).counters()["misses"] == 2
+
+
+class TestDeterministicOnDisk:
+    """Regressions from the determinism-contract linter (DET002/ATOM001):
+    enumeration-order independence and canonical artifact bytes."""
+
+    def test_prune_tiebreak_is_path_order_on_equal_mtime(self, tmp_path):
+        # All entries share one mtime: eviction must fall back to path
+        # order, not directory enumeration order.
+        cache = ResultCache(tmp_path)
+        size = entry_size(cache)
+        for i in range(5):
+            put_with_mtime(cache, i, 1000.0)
+        removed = cache.prune(max_bytes=2 * size)
+        assert removed == 3
+        for i in range(3):          # lexicographically smallest evicted
+            assert cache.get(key_for(i)) is None, i
+        for i in range(3, 5):
+            assert cache.get(key_for(i)) is not None, i
+
+    def test_prune_is_reproducible_across_instances(self, tmp_path):
+        survivors = []
+        for trial in ("a", "b"):
+            root = tmp_path / trial
+            cache = ResultCache(root)
+            for i in range(6):
+                put_with_mtime(cache, i, 1000.0)
+            cache.prune(max_bytes=3 * entry_size(cache))
+            survivors.append(sorted(
+                p.name for p in root.glob("*/*.json")))
+        assert survivors[0] == survivors[1]
+
+    def test_stats_file_bytes_are_canonical(self, tmp_path):
+        import json
+
+        cache = ResultCache(tmp_path)
+        cache.get("00deadbeef")
+        totals = cache.flush_counters()
+        text = (tmp_path / "STATS.json").read_text()
+        assert text == json.dumps(totals, sort_keys=True)
+
+    def test_put_then_get_round_trip_is_atomic_file(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = key_for(7)
+        cache.put(key, report())
+        # No temp-file litter next to the entry after an atomic install.
+        leftovers = [p for p in cache._path(key).parent.iterdir()
+                     if p.suffix != ".json"]
+        assert leftovers == []

@@ -359,3 +359,37 @@ class TestQueueFailureModes:
                       backend=queue_backend(tmp_path, workers=1))
         assert cache.get(cell_key(good)) is not None
         assert cache.get(cell_key(bad)) is None
+
+
+class TestCanonicalEnvelopes:
+    """Regressions from the determinism-contract linter (ATOM001): queue
+    artifacts are canonical (sort_keys) JSON, byte-stable across dict
+    construction order."""
+
+    def test_batch_manifest_bytes(self, tmp_path):
+        q = _QueueDir(tmp_path / "q")
+        q.ensure()
+        q.write_batch(["k2", "k1"])
+        raw = q.batch_path.read_bytes()
+        assert raw == json.dumps({"cells": ["k2", "k1"]},
+                                 sort_keys=True).encode()
+        assert q.batch_keys() == ["k2", "k1"]   # order is preserved
+
+    def test_error_result_envelope_bytes(self, tmp_path):
+        q = _QueueDir(tmp_path / "q")
+        q.ensure()
+        q.write_result("kx", ("err", ("cell kx", "boom", "tb...")))
+        raw = q.result_path("kx").read_bytes()
+        doc = {"status": "err", "failure": ["cell kx", "boom", "tb..."]}
+        assert raw == json.dumps(doc, sort_keys=True).encode()
+        status, payload = q.read_result("kx")
+        assert status == "err" and payload[1] == "boom"
+
+    def test_no_temp_litter_after_writes(self, tmp_path):
+        q = _QueueDir(tmp_path / "q")
+        q.ensure()
+        q.write_batch(["a"])
+        q.write_result("a", ("err", ("d", "e", "t")))
+        names = sorted(p.name for p in (tmp_path / "q").rglob("*")
+                       if p.is_file())
+        assert names == ["BATCH.json", "a.json"]

@@ -1,0 +1,30 @@
+"""ATOM001 positives: hand-rolled writes into a managed state dir.
+
+The ``.repro-cache`` marker below pulls this file into ATOM001 scope.
+"""
+
+import json
+import os
+import tempfile
+
+ROOT = ".repro-cache"
+
+
+def hand_rolled_atomic(path, payload):
+    fd, tmp = tempfile.mkstemp(dir=ROOT)            # error: mkstemp
+    with os.fdopen(fd, "w") as fh:
+        json.dump(payload, fh)                      # error: no sort_keys
+    os.replace(tmp, path)                           # error: os.replace
+
+
+def bare_write(path, text):
+    with open(path, "w") as fh:                     # error: open(..., "w")
+        fh.write(text)
+
+
+def exclusive_create(path):
+    return os.open(path, os.O_CREAT | os.O_EXCL)    # error: os.open O_CREAT
+
+
+def unsorted_dumps(payload):
+    return json.dumps(payload)                      # error: no sort_keys

@@ -1,0 +1,32 @@
+"""ATOM001 negatives: helper-routed writes, canonical JSON, waived lock.
+
+Also in ``.repro-cache`` scope via this docstring marker.
+"""
+
+import json
+import os
+
+from repro.util.io import atomic_write_json, atomic_write_text
+
+
+def helper_routed(path, payload):
+    atomic_write_json(path, payload)
+
+
+def helper_text(path, text):
+    atomic_write_text(path, text)
+
+
+def canonical_dumps(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+def read_only(path):
+    with open(path) as fh:                  # reads are out of scope
+        return fh.read()
+
+
+def claim_file(path):
+    # O_EXCL mutual exclusion is the point; atomic replace would break it.
+    # repro: allow[ATOM001]
+    return os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)

@@ -1,0 +1,31 @@
+"""DET001 positives: unseeded, global-state, and literal-seed RNG."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def unseeded_generator():
+    return np.random.default_rng()          # error: unseeded
+
+
+def unseeded_imported_name():
+    return default_rng()                    # error: unseeded (aliased)
+
+
+def global_numpy_state():
+    np.random.seed(7)                       # error: global state
+    return np.random.randint(0, 10)         # error: global state
+
+
+def global_stdlib_state():
+    return random.random()                  # error: process-global RNG
+
+
+def literal_seed():
+    return np.random.default_rng(0)         # warning: hard-coded seed
+
+
+def literal_seed_keyword():
+    return np.random.default_rng(seed=42)   # warning: hard-coded seed

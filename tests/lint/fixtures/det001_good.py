@@ -1,0 +1,17 @@
+"""DET001 negatives: threaded seeds, waived contract streams."""
+
+import numpy as np
+
+
+def threaded_seed(seed):
+    return np.random.default_rng(seed)      # seed flows from the caller
+
+
+def derived_stream(rng):
+    return rng.integers(0, 10)              # generator passed in
+
+
+def contract_stream():
+    # Fixed stream is the published-artifact contract for this fixture.
+    # repro: allow[DET001]
+    return np.random.default_rng(0)

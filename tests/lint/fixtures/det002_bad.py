@@ -1,0 +1,22 @@
+"""DET002 positives: filesystem enumeration without sorted()."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def listdir_loop(root):
+    for name in os.listdir(root):           # error
+        print(name)
+
+
+def iterdir_list(root):
+    return [p.name for p in Path(root).iterdir()]   # error
+
+
+def glob_module(root):
+    return glob.glob(os.path.join(root, "*.json"))  # error
+
+
+def path_glob(root):
+    return list(Path(root).glob("*/*.json"))        # error

@@ -1,0 +1,18 @@
+"""DET002 negatives: every enumeration passes through sorted()."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def listdir_sorted(root):
+    for name in sorted(os.listdir(root)):
+        print(name)
+
+
+def iterdir_generator(root):
+    return sorted(p.name for p in Path(root).iterdir())
+
+
+def glob_module_sorted(root):
+    return sorted(glob.glob(os.path.join(root, "*.json")))

@@ -1,0 +1,20 @@
+"""DET003 positives: wall-clock reads outside the measurement modules."""
+
+import time
+from datetime import date, datetime
+
+
+def stamp_result():
+    return {"t": time.time()}               # error
+
+
+def stamp_ns():
+    return time.perf_counter()              # error
+
+
+def today_string():
+    return datetime.now().isoformat()       # error
+
+
+def date_today():
+    return date.today()                     # error

@@ -1,0 +1,12 @@
+"""DET003 negatives: simulated time, plus an explicitly waived probe."""
+
+import time
+
+
+def simulated_clock(sim):
+    return sim.now                          # the only clock in sim logic
+
+
+def measured_elapsed(start):
+    # Genuine measurement site, justified inline.
+    return time.time() - start  # repro: allow[DET003] wall-time probe

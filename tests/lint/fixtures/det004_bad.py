@@ -1,0 +1,22 @@
+"""DET004 positives: iterating set-valued expressions directly."""
+
+
+def set_literal_loop():
+    out = []
+    for name in {"b", "a", "c"}:            # error: set literal
+        out.append(name)
+    return out
+
+
+def set_call_comprehension(names):
+    return [n.upper() for n in set(names)]  # error: set() call
+
+
+def set_union_loop(a, b):
+    for item in a | set(b):                 # error: set union
+        print(item)
+
+
+def set_method_loop(a, b):
+    for item in set(a).intersection(b):     # error: set method
+        print(item)

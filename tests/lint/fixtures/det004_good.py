@@ -1,0 +1,13 @@
+"""DET004 negatives: sorted before iteration, or membership only."""
+
+
+def sorted_set_loop(names):
+    return [n.upper() for n in sorted(set(names))]
+
+
+def membership_test(names, needle):
+    return needle in set(names)             # membership, not iteration
+
+
+def dict_iteration(mapping):
+    return list(mapping)                    # dicts preserve order

@@ -1,0 +1,83 @@
+"""Baseline round-trip, multiset matching, and stale-entry detection."""
+
+import json
+
+import pytest
+
+from repro.lint import (apply_baseline, load_baseline, save_baseline)
+from repro.lint.baseline import BASELINE_FORMAT
+from repro.lint.findings import Finding
+
+
+def mk(rule="DET001", path="a.py", line=1, msg="m"):
+    return Finding(path=path, line=line, col=0, rule_id=rule,
+                   severity="error", message=msg)
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    findings = [mk(line=3), mk(rule="DET002", path="b.py", msg="other")]
+    save_baseline(path, findings)
+    loaded = load_baseline(path)
+    new, n_baselined, stale = apply_baseline(findings, loaded)
+    assert new == [] and n_baselined == 2 and stale == []
+
+
+def test_matching_is_line_insensitive(tmp_path):
+    path = tmp_path / "baseline.json"
+    save_baseline(path, [mk(line=3)])
+    # Same finding after unrelated edits shifted the file.
+    new, n_baselined, _ = apply_baseline([mk(line=300)],
+                                         load_baseline(path))
+    assert new == [] and n_baselined == 1
+
+
+def test_multiset_semantics(tmp_path):
+    # Two identical findings need two baseline entries; one entry only
+    # absorbs one occurrence.
+    path = tmp_path / "baseline.json"
+    save_baseline(path, [mk()])
+    new, n_baselined, stale = apply_baseline([mk(line=1), mk(line=9)],
+                                             load_baseline(path))
+    assert len(new) == 1 and n_baselined == 1 and stale == []
+
+
+def test_stale_entries_are_surfaced(tmp_path):
+    path = tmp_path / "baseline.json"
+    save_baseline(path, [mk(), mk(rule="DET002", msg="gone")])
+    new, n_baselined, stale = apply_baseline([mk()], load_baseline(path))
+    assert new == [] and n_baselined == 1
+    assert stale == [("DET002", "a.py", "gone")]
+
+
+def test_new_finding_passes_through(tmp_path):
+    path = tmp_path / "baseline.json"
+    save_baseline(path, [mk()])
+    fresh = mk(rule="ATOM001", path="c.py", msg="fresh")
+    new, _, _ = apply_baseline([mk(), fresh], load_baseline(path))
+    assert new == [fresh]
+
+
+def test_wrong_format_is_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"format": "something-else/9",
+                                "findings": []}))
+    with pytest.raises(ValueError, match=BASELINE_FORMAT):
+        load_baseline(path)
+
+
+def test_saved_baseline_is_canonical_json(tmp_path):
+    path = tmp_path / "baseline.json"
+    save_baseline(path, [mk(rule="DET002"), mk(rule="DET001")])
+    data = json.loads(path.read_text())
+    assert data["format"] == BASELINE_FORMAT
+    rules = [e["rule_id"] for e in data["findings"]]
+    assert rules == sorted(rules)
+    # Canonical bytes: re-serializing with sort_keys reproduces the file.
+    assert path.read_text() == json.dumps(data, sort_keys=True, indent=2)
+
+
+def test_empty_baseline_is_noop():
+    findings = [mk()]
+    new, n_baselined, stale = apply_baseline(findings, None)
+    assert new == findings and n_baselined == 0 and stale == []

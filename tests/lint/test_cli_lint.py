@@ -1,0 +1,104 @@
+"""``repro.cli lint``: exit codes, formats, baseline workflow, --fix."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN = "x = 1\n"
+VIOLATION = ("import numpy as np\n\n"
+             "rng = np.random.default_rng()\n")
+
+
+def write_pkg(tmp_path, source):
+    target = tmp_path / "mod.py"
+    target.write_text(source)
+    return target
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    write_pkg(tmp_path, CLEAN)
+    assert main(["lint", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "1 file(s) checked" in out and "0 error(s)" in out
+
+
+def test_violation_exits_one(tmp_path, capsys):
+    write_pkg(tmp_path, VIOLATION)
+    assert main(["lint", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "unseeded RNG" in out
+
+
+def test_json_format_is_machine_readable(tmp_path, capsys):
+    write_pkg(tmp_path, VIOLATION)
+    assert main(["lint", str(tmp_path), "--format", "json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["files_checked"] == 1
+    assert data["summary"]["by_rule"] == {"DET001": 1}
+    assert [f["rule_id"] for f in data["findings"]] == ["DET001"]
+
+
+def test_rules_subset_filters(tmp_path):
+    write_pkg(tmp_path, VIOLATION)
+    assert main(["lint", str(tmp_path), "--rules", "DET002"]) == 0
+
+
+def test_unknown_rule_exits_two(tmp_path, capsys):
+    assert main(["lint", str(tmp_path), "--rules", "NOPE"]) == 2
+    assert "unknown lint rule" in capsys.readouterr().err
+
+
+def test_missing_path_exits_two(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "absent")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_list_rules_covers_all(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "DET002", "DET003", "DET004",
+                    "ATOM001", "SNAP001"):
+        assert rule_id in out
+
+
+def test_update_baseline_then_gate_passes(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    write_pkg(tmp_path, VIOLATION)
+    assert main(["lint", str(tmp_path), "--update-baseline"]) == 0
+    capsys.readouterr()
+    # Grandfathered finding no longer fails the gate (auto-loaded from cwd).
+    assert main(["lint", str(tmp_path)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_fixed_finding_makes_baseline_stale(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    target = write_pkg(tmp_path, VIOLATION)
+    assert main(["lint", str(tmp_path), "--update-baseline"]) == 0
+    target.write_text(CLEAN)
+    capsys.readouterr()
+    # The burned-down finding leaves a stale entry: still a gate failure
+    # so the baseline gets regenerated, never silently rots.
+    assert main(["lint", str(tmp_path)]) == 1
+    assert "stale" in capsys.readouterr().out
+
+
+def test_fix_flag_repairs_mechanical_findings(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("import os\nnames = [n for n in os.listdir('.')]\n")
+    assert main(["lint", str(tmp_path), "--rules", "DET002", "--fix"]) == 0
+    assert "sorted(os.listdir('.'))" in target.read_text()
+    assert "1 file(s) checked: 0 error(s)" in capsys.readouterr().out
+
+
+def test_shipped_tree_is_clean_with_shipped_baseline(monkeypatch, capsys):
+    # The acceptance invariant: `repro.cli lint src` from the repo root
+    # exits 0, and the checked-in baseline is empty.
+    monkeypatch.chdir(REPO_ROOT)
+    baseline = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+    assert baseline["findings"] == []
+    assert main(["lint", "src"]) == 0
+    assert "0 error(s), 0 warning(s)" in capsys.readouterr().out

@@ -1,0 +1,100 @@
+"""SNAP001: the snapshot-surface contract across simulation.py,
+kernel.py, and snapshot.py — including the acceptance scenario of a
+rogue attribute injected into the real Simulation.__init__."""
+
+import shutil
+import textwrap
+from pathlib import Path
+
+from repro.lint import check_snapshot_surface, lint_paths, resolve_rules
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro" / "sim"
+
+
+def real_trio():
+    return (SRC / "simulation.py", SRC / "kernel.py", SRC / "snapshot.py")
+
+
+def copy_trio(tmp_path):
+    dest = tmp_path / "repro" / "sim"
+    dest.mkdir(parents=True)
+    for name in ("simulation.py", "kernel.py", "snapshot.py"):
+        shutil.copy(SRC / name, dest / name)
+    return (dest / "simulation.py", dest / "kernel.py",
+            dest / "snapshot.py")
+
+
+def test_real_repo_surface_is_clean():
+    assert check_snapshot_surface(*real_trio()) == []
+
+
+def test_injected_simulation_attr_is_caught(tmp_path):
+    sim_path, kernel_path, snap_path = copy_trio(tmp_path)
+    anchor = "self.now: int = 0"
+    source = sim_path.read_text()
+    assert anchor in source
+    sim_path.write_text(source.replace(
+        anchor, anchor + "\n        self._rogue_attr = None", 1))
+
+    findings = check_snapshot_surface(sim_path, kernel_path, snap_path)
+    errors = [f for f in findings if f.severity == "error"]
+    assert len(errors) == 1
+    assert errors[0].rule_id == "SNAP001"
+    assert "_rogue_attr" in errors[0].message
+    assert errors[0].path.endswith("simulation.py")
+    # The finding points at the injected assignment, not at __init__.
+    assert errors[0].line > 1
+
+
+def test_injected_kernel_attr_is_caught(tmp_path):
+    sim_path, kernel_path, snap_path = copy_trio(tmp_path)
+    source = kernel_path.read_text()
+    anchor = "def __init__"
+    idx = source.index(anchor)
+    line_end = source.index("\n", source.index(":", idx))
+    # First statement of EventKernel.__init__ — insert a rogue attr.
+    kernel_path.write_text(
+        source[:line_end] + "\n        self._rogue_kernel_attr = 1"
+        + source[line_end:])
+
+    findings = check_snapshot_surface(sim_path, kernel_path, snap_path)
+    assert any(f.severity == "error" and "_rogue_kernel_attr" in f.message
+               for f in findings)
+
+
+def test_stale_declaration_is_a_warning(tmp_path):
+    sim_path, kernel_path, snap_path = copy_trio(tmp_path)
+    snap = snap_path.read_text()
+    assert '"_all_jobs"' in snap
+    # Declare an attribute that Simulation.__init__ no longer sets.
+    snap_path.write_text(snap.replace(
+        '"_all_jobs"', '"_all_jobs", "_ghost_attr"', 1))
+
+    findings = check_snapshot_surface(sim_path, kernel_path, snap_path)
+    warnings = [f for f in findings if f.severity == "warning"]
+    assert any("_ghost_attr" in f.message for f in warnings)
+    assert not any(f.severity == "error" for f in findings)
+
+
+def test_missing_declaration_sets_is_an_error(tmp_path):
+    sim_path, kernel_path, snap_path = copy_trio(tmp_path)
+    snap_path.write_text(textwrap.dedent("""\
+        SNAPSHOT_FORMAT = "x/1"
+    """))
+    findings = check_snapshot_surface(sim_path, kernel_path, snap_path)
+    assert findings, "missing declaration sets must not pass silently"
+    assert all(f.severity == "error" for f in findings)
+
+
+def test_project_rule_fires_through_lint_paths(tmp_path):
+    # End-to-end: the registered SNAP001 rule locates the trio by module
+    # key inside an arbitrary checkout root.
+    sim_path, _, _ = copy_trio(tmp_path)
+    anchor = "self.now: int = 0"
+    sim_path.write_text(sim_path.read_text().replace(
+        anchor, anchor + "\n        self._rogue_attr = None", 1))
+
+    result = lint_paths([tmp_path], rules=resolve_rules(["SNAP001"]),
+                        root=tmp_path)
+    assert any(f.rule_id == "SNAP001" and "_rogue_attr" in f.message
+               for f in result.findings)

@@ -1,0 +1,61 @@
+"""Waiver-comment semantics: trailing, standalone, multi-rule, and the
+string-literal non-match (tokenize, not regex-over-source)."""
+
+import textwrap
+
+from repro.lint.waivers import collect_waivers
+
+
+def test_trailing_waiver_covers_its_own_line():
+    src = "x = time.time()  # repro: allow[DET003]\n"
+    assert collect_waivers(src) == {1: {"DET003"}}
+
+
+def test_standalone_waiver_covers_next_code_line():
+    src = textwrap.dedent("""\
+        # repro: allow[DET001]
+        rng = np.random.default_rng(0)
+    """)
+    assert collect_waivers(src)[2] == {"DET001"}
+
+
+def test_standalone_waiver_skips_blank_and_comment_lines():
+    src = textwrap.dedent("""\
+        # repro: allow[DET001]
+
+        # an unrelated comment
+        rng = np.random.default_rng(0)
+    """)
+    waivers = collect_waivers(src)
+    assert waivers[4] == {"DET001"}
+    assert 3 not in waivers  # unrelated comment line gains nothing
+
+
+def test_multi_rule_comma_form():
+    src = "y = f()  # repro: allow[DET001, ATOM001]\n"
+    assert collect_waivers(src) == {1: {"DET001", "ATOM001"}}
+
+
+def test_waiver_inside_string_literal_is_ignored():
+    src = 's = "# repro: allow[DET001]"\n'
+    assert collect_waivers(src) == {}
+
+
+def test_trailing_justification_text_is_allowed():
+    src = "t = time.time()  # repro: allow[DET003] wall-time probe\n"
+    assert collect_waivers(src) == {1: {"DET003"}}
+
+
+def test_waiver_does_not_cover_continuation_lines():
+    # Known, intended limitation: a waiver attaches to a single physical
+    # line. A finding on a continuation line of a multi-line call must
+    # carry the waiver on *that* line (reflow the call if needed).
+    src = textwrap.dedent("""\
+        # repro: allow[DET001]
+        policy = build(
+            np.random.default_rng(0),
+        )
+    """)
+    waivers = collect_waivers(src)
+    assert waivers.get(2) == {"DET001"}  # first line of the statement
+    assert 3 not in waivers  # the default_rng line is NOT covered
