@@ -5,8 +5,8 @@
 #     bash scripts/ci_smoke.sh sweep trace     # a subset, in order
 #     bash scripts/ci_smoke.sh leaderboard
 #
-# Steps: lint, sweep, trace, stream, queue, leaderboard, serve, parity,
-# bench, nightly-leaderboard.
+# Steps: lint, sweep, trace, stream, queue, leaderboard, serve, fuzz,
+# docs, parity, bench, nightly-leaderboard.
 # Each step is exactly what .github/workflows/ci.yml runs, so a failure
 # reproduces locally with the same command. Scratch state lives in
 # .ci-cache/ (result cache), .ci-policies/ (policy store), and
@@ -227,6 +227,43 @@ step_serve() {
          "reference across a kill -9 restart"
 }
 
+step_fuzz() {
+    # Adversarial scenario fuzzer at a tiny budget: the stress-scenario
+    # archive must be byte-identical between the serial and pool
+    # backends, and an archived `fuzz/<name>` scenario must resolve
+    # through the registry for a plain sweep.
+    mkdir -p "$TRACE_DIR"
+    local fdir="$TRACE_DIR/fuzz"
+    local fuzz_args=(--train-scenario quick --train-iterations 2
+                     --population 3 --generations 2 --elites 1
+                     --traces 1 --horizon 16 --max-ticks 100
+                     --baselines edf --max-archive 3
+                     --policy-dir "$POLICY_DIR" --cache-dir "$CACHE_DIR")
+    rm -rf "$fdir-serial" "$fdir-pool"
+    python -m repro.cli fuzz run "${fuzz_args[@]}" \
+        --backend serial --out-dir "$fdir-serial"
+    python -m repro.cli fuzz run "${fuzz_args[@]}" \
+        --workers 2 --out-dir "$fdir-pool"
+    cmp "$fdir-serial/archive.json" "$fdir-pool/archive.json"
+    python -m repro.cli fuzz archive --out-dir "$fdir-serial"
+    local name
+    name=$(python -c "import json; \
+        print(json.load(open('$fdir-serial/archive.json'))\
+            ['entries'][0]['name'])")
+    REPRO_FUZZ_DIR="$fdir-serial" python -m repro.cli sweep \
+        --scenario "$name" --schedulers edf,fifo --traces 1 \
+        --max-ticks 100 --cache-dir "$CACHE_DIR"
+    echo "fuzz smoke: archive byte-identical serial vs pool," \
+         "$name resolvable"
+}
+
+step_docs() {
+    # Documentation gates: the CLI reference must cover every real
+    # subcommand and flag (drift test walks the live argparse tree) and
+    # every relative markdown link must resolve.
+    python -m pytest tests/docs -q
+}
+
 step_parity() {
     # Scaled-down (128-unit, 10k-job) SoA-vs-object kernel parity gate:
     # the vectorized column paths must be bit-identical to the per-object
@@ -260,17 +297,21 @@ run_step() {
         queue)               step_queue ;;
         leaderboard)         step_leaderboard ;;
         serve)               step_serve ;;
+        fuzz)                step_fuzz ;;
+        docs)                step_docs ;;
         parity)              step_parity ;;
         bench)               step_bench ;;
         nightly-leaderboard) step_nightly_leaderboard ;;
         *) echo "unknown step '$1' (lint|sweep|trace|stream|queue|" \
-                "leaderboard|serve|parity|bench|nightly-leaderboard)" >&2
+                "leaderboard|serve|fuzz|docs|parity|bench|" \
+                "nightly-leaderboard)" >&2
            exit 2 ;;
     esac
 }
 
 if [ "$#" -eq 0 ]; then
-    set -- lint sweep trace stream queue leaderboard serve parity bench
+    set -- lint sweep trace stream queue leaderboard serve fuzz docs \
+           parity bench
 fi
 for step in "$@"; do
     echo "=== ci_smoke: $step ==="

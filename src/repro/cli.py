@@ -11,10 +11,15 @@ Usage::
     python -m repro.cli evaluate --policy policy.npz --load 0.7 --traces 4
     python -m repro.cli trace import --format swf --input log.swf.gz \
         --out trace.json.gz --target-load 0.8
+    python -m repro.cli trace import --preset kit-fh2 --input fh2.swf.gz \
+        --out fh2.json.gz
     python -m repro.cli trace import --stream --format swf \
         --input huge.swf.gz --out trace.jsonl.gz --target-load 0.8
     python -m repro.cli trace stats --input trace.json.gz
     python -m repro.cli scenarios
+    python -m repro.cli fuzz run --train-scenario swf-fixture --workers 4
+    python -m repro.cli fuzz archive
+    python -m repro.cli sweep --scenario fuzz/0123456789ab
     python -m repro.cli leaderboard --scenarios quick swf-fixture \
         --agents ppo --workers 4 --out leaderboard.json --out leaderboard.md
     python -m repro.cli sweep --scenario shards/ --window-jobs 5000 \
@@ -48,6 +53,15 @@ or columnar CSV tables, gzip-aware) into the repo's trace JSON via the
 ``evaluate`` / ``train`` then selects a named scenario from the
 registry (:mod:`repro.harness.library`) — or an imported trace file
 directly.
+
+``fuzz`` runs the adversarial scenario search of
+:mod:`repro.workload.fuzz`: it hunts the synthetic generator's knob
+space for settings where a trained policy loses worst to the best
+heuristic baseline, and archives the survivors as named
+``fuzz/<fingerprint>`` stress scenarios that every ``--scenario`` flag
+accepts. ``trace import --preset`` resolves the full ingest
+configuration for a well-known public archive (KIT FH2, SDSC SP2,
+Google 2019) and fits arrival/speedup structure from the records.
 
 ``run`` accepts any registered experiment name (the ``eXX_*`` functions
 of :mod:`repro.harness.experiments`); sizes default to the bench-scale
@@ -509,21 +523,32 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 # --- trace ingestion ------------------------------------------------------
 
 def _ingest_config(args: argparse.Namespace):
-    from repro.workload.ingest import IngestConfig
+    """Resolve the import's :class:`IngestConfig` through the preset chain.
 
-    kwargs = dict(
-        tick_seconds=args.tick_seconds,
-        max_jobs=args.max_jobs,
-        subsample=args.subsample,
-        target_load=args.target_load,
-        max_parallelism_cap=args.max_parallelism,
-        time_critical_fraction=args.tc_fraction,
-        accel_fraction=args.accel_fraction,
-        seed=args.seed,
-    )
+    Precedence (lowest to highest): built-in ``IngestConfig`` defaults,
+    the ``--preset`` field table, explicit CLI flags. Flags default to
+    ``None`` ("not given"), so a preset's values survive unless the user
+    actually typed the flag.
+    """
+    from repro.workload.ingest.presets import resolve_ingest
+
+    overrides = {
+        key: value
+        for key, value in (
+            ("tick_seconds", args.tick_seconds),
+            ("max_jobs", args.max_jobs),
+            ("subsample", args.subsample),
+            ("target_load", args.target_load),
+            ("max_parallelism_cap", args.max_parallelism),
+            ("time_critical_fraction", args.tc_fraction),
+            ("accel_fraction", args.accel_fraction),
+            ("seed", args.seed),
+        )
+        if value is not None
+    }
     if args.window is not None:
-        kwargs["window"] = tuple(args.window)
-    return IngestConfig(**kwargs)
+        overrides["window"] = tuple(args.window)
+    return resolve_ingest(getattr(args, "preset", None), overrides=overrides)
 
 
 def _columnar_spec(args: argparse.Namespace):
@@ -532,6 +557,7 @@ def _columnar_spec(args: argparse.Namespace):
     from repro.workload.ingest import ALIBABA_LIKE_SPEC, GOOGLE_LIKE_SPEC, ColumnarSpec
 
     presets = {"alibaba": ALIBABA_LIKE_SPEC, "google": GOOGLE_LIKE_SPEC}
+    spec_name = args.spec or "alibaba"
     # Explicitly-passed layout flags override the preset; None/False means
     # "not given" (argparse defaults), so presets keep their own values.
     overrides = {}
@@ -552,7 +578,7 @@ def _columnar_spec(args: argparse.Namespace):
                     f"--columns entries must look like field=column, got {item!r}")
             pairs.append((field_name.strip(), column.strip()))
         return ColumnarSpec(columns=tuple(pairs), **overrides)
-    return dataclasses.replace(presets[args.spec], **overrides)
+    return dataclasses.replace(presets[spec_name], **overrides)
 
 
 def _parse_archive(args: argparse.Namespace):
@@ -563,13 +589,68 @@ def _parse_archive(args: argparse.Namespace):
     return parse_columnar(args.input, _columnar_spec(args))
 
 
-def _platforms_for_import(args: argparse.Namespace):
+def _platforms_for_import(args: argparse.Namespace, preset=None):
     from repro.sim.platform import Platform
 
-    platforms = [Platform("cpu", args.cpu_capacity, 1.0)]
-    if args.gpu_capacity > 0:
-        platforms.append(Platform("gpu", args.gpu_capacity, 1.0))
+    cpu = args.cpu_capacity if args.cpu_capacity is not None \
+        else (preset.cpu_capacity if preset is not None else 24)
+    gpu = args.gpu_capacity if args.gpu_capacity is not None \
+        else (preset.gpu_capacity if preset is not None else 8)
+    platforms = [Platform("cpu", cpu, 1.0)]
+    if gpu > 0:
+        platforms.append(Platform("gpu", gpu, 1.0))
     return platforms
+
+
+def _apply_preset(args: argparse.Namespace):
+    """Resolve ``--preset`` into format/spec defaults; returns the preset.
+
+    Explicit ``--format`` / ``--spec`` flags win over the preset's
+    values; without either a preset or ``--format``, the import cannot
+    proceed (argparse can't express the either-or, so it is checked
+    here).
+    """
+    from repro.workload.ingest.presets import get_preset
+
+    preset = get_preset(args.preset) if getattr(args, "preset", None) else None
+    if args.format is None:
+        if preset is None:
+            raise SystemExit(
+                "trace import needs --format (swf|columnar) or --preset")
+        args.format = preset.format
+    if preset is not None and args.spec is None and preset.spec is not None:
+        args.spec = preset.spec
+    return preset
+
+
+def _preset_fit_report(records, config):
+    """Fitted arrival-process / Amdahl-sigma lines for a preset import.
+
+    Returns ``(lines, sigma_range)``: the human-readable fit summary and
+    the narrowed ``sigma_range`` when multi-width resubmission families
+    exist (``None`` otherwise).
+    """
+    from repro.workload.ingest.presets import (
+        fit_arrival_process,
+        fit_family_sigmas,
+        fitted_sigma_range,
+    )
+
+    lines = []
+    submits = sorted(r.submit_time for r in records if r.usable())
+    if len(submits) >= 2 and submits[-1] > submits[0]:
+        lines.append("  fitted arrivals: "
+                     f"{fit_arrival_process(submits, config.tick_seconds)}")
+    families = fit_family_sigmas(records)
+    sigma_range = None
+    if families:
+        sigma_range = fitted_sigma_range(records, default=config.sigma_range)
+        lines.append(f"  fitted Amdahl sigma: {len(families)} multi-width "
+                     f"families -> sigma_range {sigma_range}")
+    else:
+        lines.append("  fitted Amdahl sigma: no multi-width resubmission "
+                     f"families; keeping sigma_range {config.sigma_range}")
+    return lines, sigma_range
 
 
 def _clamp_note(stats) -> str:
@@ -594,7 +675,8 @@ def _cmd_trace_import(args: argparse.Namespace) -> int:
     )
     from repro.workload.traces import save_trace, save_trace_shards
 
-    platforms = _platforms_for_import(args)
+    preset = _apply_preset(args)
+    platforms = _platforms_for_import(args, preset)
     config = _ingest_config(args)
     stats = IngestStats()
 
@@ -621,6 +703,9 @@ def _cmd_trace_import(args: argparse.Namespace) -> int:
             jobs_iter = stream_normalize_columnar(
                 args.input, _columnar_spec(args), config, platforms,
                 stats=stats)
+        if preset is not None:
+            print(f"note: --stream skips the --preset arrival/sigma fits "
+                  "(they need the materialized record set)", file=sys.stderr)
         n_jobs = write(jobs_iter)
         if not n_jobs:
             # The container was created before the stream turned out
@@ -649,6 +734,16 @@ def _cmd_trace_import(args: argparse.Namespace) -> int:
         return 0
 
     meta, records = _parse_archive(args)
+    fit_lines: List[str] = []
+    if preset is not None:
+        # The preset fits: arrival-process shape from the submit series,
+        # per-family Amdahl sigma from multi-width resubmissions (the
+        # narrowed range feeds the normalization below).
+        fit_lines, sigma_range = _preset_fit_report(records, config)
+        if sigma_range is not None:
+            import dataclasses
+
+            config = dataclasses.replace(config, sigma_range=sigma_range)
     jobs = normalize_records(records, config, platforms, stats=stats)
     if not jobs:
         print(f"no usable jobs in {args.input!r} after filtering "
@@ -659,11 +754,14 @@ def _cmd_trace_import(args: argparse.Namespace) -> int:
     load = measured_load(jobs, platforms)
     horizon = max(j.arrival_time for j in jobs) + 1
     n_tc = sum(1 for j in jobs if j.job_class.startswith("tc"))
+    preset_note = f"; preset {args.preset}" if preset is not None else ""
     print(f"imported {n_jobs} jobs from {args.input} ({meta.format}; "
-          f"{meta.n_skipped} lines skipped)")
+          f"{meta.n_skipped} lines skipped{preset_note})")
     print(f"  horizon: {horizon} ticks ({config.tick_seconds:g}s/tick), "
           f"offered load: {load:.3f}, "
           f"classes: {n_tc} time-critical / {len(jobs) - n_tc} best-effort")
+    for line in fit_lines:
+        print(line)
     print(_clamp_note(stats))
     print(f"trace -> {args.out}")
     return 0
@@ -787,11 +885,179 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_scenarios(_args: argparse.Namespace) -> int:
     from repro.harness.library import list_scenarios
+    from repro.workload.fuzz.archive import archived_names, load_archive
 
-    entries = list_scenarios()
+    entries = dict(list_scenarios())
+    names = archived_names()
+    fuzz = load_archive() if names else {}
+    for name in names:
+        entry = fuzz.get(name, {})
+        gap = entry.get("gap")
+        desc = "fuzz-archive stress scenario"
+        if isinstance(gap, (int, float)):
+            desc += (f" (gap {gap:+.4f} vs "
+                     f"{entry.get('best_baseline', '?')})")
+        entries[name] = desc
     width = max(len(n) for n in entries)
     for name, desc in entries.items():
         print(f"{name:<{width}}  {desc}")
+    return 0
+
+
+# --- adversarial scenario fuzzing ----------------------------------------
+
+def _fuzz_policy(args: argparse.Namespace):
+    """Resolve the policy under attack -> (factory, label, fingerprint).
+
+    ``--policy-store KEY`` attacks an existing store entry; otherwise a
+    policy is trained (or reused — the store is content-addressed) on
+    ``--train-scenario`` with the requested budget. Either way the
+    search evaluates the *stored bytes* through a picklable
+    :class:`StoredPolicyFactory`, so workers and resumed runs see
+    bit-identical weights.
+    """
+    from repro.harness.leaderboard import (
+        DEFAULT_POLICY_DIR,
+        AgentSpec,
+        PolicyStore,
+        StoredPolicyFactory,
+    )
+
+    store = PolicyStore(args.policy_dir or DEFAULT_POLICY_DIR)
+    if getattr(args, "policy_store", None):
+        key = args.policy_store
+        if key not in store:
+            raise SystemExit(
+                f"policy {key[:12]}... not in store {store.root}; train "
+                "one with `repro.cli leaderboard` or drop --policy-store")
+        label = f"store:{key[:12]}"
+    else:
+        from repro.harness.library import get_scenario
+
+        scenario = get_scenario(args.train_scenario)
+        spec = AgentSpec(algo=args.agent, iterations=args.train_iterations,
+                         seed=args.train_seed)
+        key = store.get_or_train(args.train_scenario, scenario, spec)
+        label = f"{args.agent}@{args.train_scenario}"
+    return StoredPolicyFactory(str(store.root), key), label, key
+
+
+def _fuzz_cache(args: argparse.Namespace):
+    from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
+
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+
+
+def _print_fuzz_result(result, label: str) -> None:
+    print(f"fuzz: {result.evaluated} candidate(s) over "
+          f"{result.generations} generation(s) against {label}")
+    for entry in sorted(result.archive,
+                        key=lambda e: (-e["gap"], e["name"])):
+        print(f"  {entry['name']}  gap {entry['gap']:+.4f} "
+              f"({entry['metric']}: policy {entry['policy_metric']:.4f} "
+              f"vs {entry['best_baseline']} "
+              f"{entry['baseline_metric']:.4f})")
+    print(f"archive -> {result.archive_file}")
+    print(f"state -> {result.state_file}")
+
+
+def _cmd_fuzz_run(args: argparse.Namespace) -> int:
+    from repro.workload.fuzz import FuzzConfig, run_fuzz
+    from repro.workload.fuzz.archive import fuzz_dir
+
+    baselines = tuple(b.strip() for b in args.baselines.split(",")
+                      if b.strip())
+    try:
+        config = FuzzConfig(
+            population=args.population, generations=args.generations,
+            elites=args.elites, mutation_scale=args.mutation_scale,
+            crossover_prob=args.crossover_prob, n_traces=args.traces,
+            base_seed=args.base_seed, seed=args.search_seed,
+            metric=args.metric, baselines=baselines,
+            max_archive=args.max_archive, min_gap=args.min_gap,
+            horizon=args.horizon, max_ticks=args.max_ticks,
+            cpu_capacity=args.cpu_capacity, gpu_capacity=args.gpu_capacity,
+            engine=args.engine,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    factory, label, key = _fuzz_policy(args)
+    result = run_fuzz(
+        factory, label, key, fuzz_dir(args.out_dir), config=config,
+        workers=args.workers, cache=_fuzz_cache(args),
+        backend=_resolve_backend(args),
+        progress=lambda m: print(f"fuzz: {m}", flush=True),
+    )
+    _print_fuzz_result(result, label)
+    return 0
+
+
+def _cmd_fuzz_resume(args: argparse.Namespace) -> int:
+    from repro.harness.leaderboard import (
+        DEFAULT_POLICY_DIR,
+        PolicyStore,
+        StoredPolicyFactory,
+    )
+    from repro.workload.fuzz import run_fuzz
+    from repro.workload.fuzz.archive import fuzz_dir
+    from repro.workload.fuzz.search import load_state
+
+    out_dir = fuzz_dir(args.out_dir)
+    try:
+        state = load_state(out_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    key = state["policy"]["fingerprint"]
+    label = state["policy"]["label"]
+    store = PolicyStore(args.policy_dir or DEFAULT_POLICY_DIR)
+    if key not in store:
+        print(f"stored policy {key[:12]}... missing from {store.root}; "
+              "point --policy-dir at the store the run was started with",
+              file=sys.stderr)
+        return 2
+    result = run_fuzz(
+        StoredPolicyFactory(str(store.root), key), label, key, out_dir,
+        workers=args.workers, cache=_fuzz_cache(args),
+        backend=_resolve_backend(args), resume=True,
+        progress=lambda m: print(f"fuzz: {m}", flush=True),
+    )
+    _print_fuzz_result(result, label)
+    return 0
+
+
+def _cmd_fuzz_archive(args: argparse.Namespace) -> int:
+    from repro.harness.tables import format_table
+    from repro.workload.fuzz.archive import archive_path, load_archive
+
+    try:
+        entries = load_archive(args.out_dir)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"no fuzz archive at {archive_path(args.out_dir)}; "
+              "create one with `repro.cli fuzz run`")
+        return 0
+    rows = [
+        {
+            "scenario": e["name"],
+            "gap": e["gap"],
+            "metric": e["metric"],
+            "policy": e["policy"]["label"],
+            "best_baseline": e["best_baseline"],
+            "generation": e["generation"],
+        }
+        for e in entries.values()
+    ]
+    rows.sort(key=lambda r: (-r["gap"], r["scenario"]))
+    print(format_table(rows, title=f"fuzz archive ({len(rows)} entries)"))
+    print(f"use any name via --scenario (set REPRO_FUZZ_DIR="
+          f"{os.path.dirname(archive_path(args.out_dir)) or '.'} "
+          "if not the default archive)")
     return 0
 
 
@@ -924,6 +1190,92 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "scenarios", help="list the named scenario registry"
     ).set_defaults(func=_cmd_scenarios)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="adversarial scenario search: find generator settings where a "
+             "trained policy loses to the best heuristic baseline, and "
+             "archive them as named fuzz/<fingerprint> stress scenarios")
+    fsub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    def add_fuzz_shared_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--out-dir", default=None,
+                       help="fuzz state + archive directory (default "
+                            ".repro-fuzz, or $REPRO_FUZZ_DIR)")
+        p.add_argument("--policy-dir", default=None,
+                       help="policy-store root (default .repro-policies)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="process-pool shards for evaluation cells")
+        p.add_argument("--no-cache", action="store_true",
+                       help="recompute every evaluation cell")
+        p.add_argument("--cache-dir", default=None,
+                       help="result-cache directory (default .repro-cache)")
+        _add_backend_args(p)
+
+    frun = fsub.add_parser(
+        "run", help="start a fresh adversarial search (checkpointed per "
+                    "generation; see `fuzz resume`)")
+    frun.add_argument("--policy-store", default=None, metavar="KEY",
+                      help="attack an existing policy-store entry instead "
+                           "of training one")
+    frun.add_argument("--train-scenario", default="swf-fixture",
+                      help="scenario the attacked policy is trained on "
+                           "when --policy-store is not given (the store "
+                           "is content-addressed: re-runs retrain nothing)")
+    frun.add_argument("--agent", default="ppo",
+                      choices=["reinforce", "a2c", "ppo"])
+    frun.add_argument("--train-iterations", type=int, default=12)
+    frun.add_argument("--train-seed", type=int, default=0)
+    frun.add_argument("--population", type=int, default=8,
+                      help="candidate scenarios per generation")
+    frun.add_argument("--generations", type=int, default=3)
+    frun.add_argument("--elites", type=int, default=2,
+                      help="top candidates carried over unchanged")
+    frun.add_argument("--mutation-scale", type=float, default=0.25,
+                      help="gaussian mutation scale, fraction of each "
+                           "knob's range")
+    frun.add_argument("--crossover-prob", type=float, default=0.5)
+    frun.add_argument("--traces", type=int, default=2,
+                      help="paired trace seeds per candidate evaluation")
+    frun.add_argument("--base-seed", type=int, default=1000)
+    frun.add_argument("--search-seed", type=int, default=0,
+                      help="root seed of the counter-based search streams "
+                           "(sampling, mutation, crossover, selection)")
+    frun.add_argument("--metric", default="miss_rate",
+                      help="MetricsReport attribute the transfer gap is "
+                           "measured on (lower = better)")
+    frun.add_argument("--baselines", default="edf,greedy-elastic,tetris",
+                      help="comma-separated heuristic anchors; the gap is "
+                           "policy minus the best of these")
+    frun.add_argument("--max-archive", type=int, default=8,
+                      help="archive at most this many top candidates")
+    frun.add_argument("--min-gap", type=float, default=None,
+                      help="archive only candidates whose gap exceeds this "
+                           "(default: keep the top --max-archive "
+                           "regardless of sign)")
+    frun.add_argument("--horizon", type=int, default=60,
+                      help="arrival horizon in ticks for candidate traces")
+    frun.add_argument("--max-ticks", type=int, default=400)
+    frun.add_argument("--cpu-capacity", type=int, default=24)
+    frun.add_argument("--gpu-capacity", type=int, default=8)
+    frun.add_argument("--engine", default="tick", choices=["tick", "event"])
+    add_fuzz_shared_args(frun)
+    frun.set_defaults(func=_cmd_fuzz_run)
+
+    fresume = fsub.add_parser(
+        "resume", help="re-enter a checkpointed search at the first "
+                       "unfinished generation (same trajectory, usually "
+                       "straight from cache)")
+    add_fuzz_shared_args(fresume)
+    fresume.set_defaults(func=_cmd_fuzz_resume)
+
+    farchive = fsub.add_parser(
+        "archive", help="list the archived stress scenarios with their "
+                        "measured gaps")
+    farchive.add_argument("--out-dir", default=None,
+                          help="fuzz archive directory (default "
+                               ".repro-fuzz, or $REPRO_FUZZ_DIR)")
+    farchive.set_defaults(func=_cmd_fuzz_archive)
 
     lint_p = sub.add_parser(
         "lint",
@@ -1073,15 +1425,17 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="ingest and inspect real cluster traces")
     tsub = trace.add_subparsers(dest="trace_command", required=True)
 
-    def add_archive_args(p, need_format_default=None):
+    def add_archive_args(p, need_format_default=None, format_required=True):
         p.add_argument("--input", required=True,
                        help="archive file (SWF or CSV; *.gz transparently)")
         p.add_argument("--format", default=need_format_default,
                        choices=["swf", "columnar"] +
                                (["json"] if need_format_default == "json" else []),
-                       required=need_format_default is None,
-                       help="archive format")
-        p.add_argument("--spec", default="alibaba",
+                       required=format_required and need_format_default is None,
+                       help="archive format"
+                            + ("" if format_required
+                               else " (default: the --preset's format)"))
+        p.add_argument("--spec", default=None,
                        choices=["alibaba", "google"],
                        help="columnar preset (start/end second pairs vs "
                             "microsecond event layout)")
@@ -1099,7 +1453,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     timport = tsub.add_parser(
         "import", help="normalize an archive into a repo trace container")
-    add_archive_args(timport)
+    add_archive_args(timport, format_required=False)
+    timport.add_argument("--preset", default=None,
+                         choices=["google-2019", "kit-fh2", "sdsc-sp2"],
+                         help="archive preset: resolves format, columnar "
+                              "spec, platform capacities, and every ingest "
+                              "field for a well-known public archive; any "
+                              "flag below still overrides its field")
     timport.add_argument("--out", required=True,
                          help="output trace (*.json[.gz], *.jsonl[.gz], or "
                               "a shard directory with --shard-jobs)")
@@ -1111,27 +1471,35 @@ def build_parser() -> argparse.ArgumentParser:
     timport.add_argument("--shard-jobs", type=int, default=None,
                          help="write --out as a sharded JSONL directory "
                               "with this many jobs per shard")
-    timport.add_argument("--tick-seconds", type=float, default=60.0,
-                         help="archive seconds per simulator tick")
+    timport.add_argument("--tick-seconds", type=float, default=None,
+                         help="archive seconds per simulator tick "
+                              "(default 60, or the preset's)")
     timport.add_argument("--max-jobs", type=int, default=None)
-    timport.add_argument("--subsample", type=float, default=1.0,
-                         help="seeded keep-fraction in (0, 1]")
+    timport.add_argument("--subsample", type=float, default=None,
+                         help="seeded keep-fraction in (0, 1] (default 1)")
     timport.add_argument("--window", type=float, nargs=2, default=None,
                          metavar=("START", "END"),
                          help="seconds window relative to first submit")
     timport.add_argument("--target-load", type=float, default=None,
                          help="rescale arrivals to this offered load")
-    timport.add_argument("--max-parallelism", type=int, default=16,
-                         help="clip archive widths to this cap")
-    timport.add_argument("--tc-fraction", type=float, default=0.4,
-                         help="share of jobs synthesized time-critical")
-    timport.add_argument("--accel-fraction", type=float, default=0.25,
-                         help="share of jobs eligible for the accelerator")
-    timport.add_argument("--seed", type=int, default=0,
-                         help="synthesis seed (class/deadline/subsample)")
-    timport.add_argument("--cpu-capacity", type=int, default=24)
-    timport.add_argument("--gpu-capacity", type=int, default=8,
-                         help="0 disables the accelerator platform")
+    timport.add_argument("--max-parallelism", type=int, default=None,
+                         help="clip archive widths to this cap "
+                              "(default 16, or the preset's)")
+    timport.add_argument("--tc-fraction", type=float, default=None,
+                         help="share of jobs synthesized time-critical "
+                              "(default 0.4, or the preset's)")
+    timport.add_argument("--accel-fraction", type=float, default=None,
+                         help="share of jobs eligible for the accelerator "
+                              "(default 0.25, or the preset's)")
+    timport.add_argument("--seed", type=int, default=None,
+                         help="synthesis seed (class/deadline/subsample; "
+                              "default 0)")
+    timport.add_argument("--cpu-capacity", type=int, default=None,
+                         help="simulator CPU pool size (default 24, or "
+                              "the preset's)")
+    timport.add_argument("--gpu-capacity", type=int, default=None,
+                         help="0 disables the accelerator platform "
+                              "(default 8, or the preset's)")
     timport.set_defaults(func=_cmd_trace_import)
 
     tstats = tsub.add_parser(

@@ -511,6 +511,13 @@ def list_scenarios() -> Dict[str, str]:
     return {name: desc for name, (_, desc) in sorted(_REGISTRY.items())}
 
 
+def _fuzz_archive_names() -> List[str]:
+    """Sorted archived fuzz-scenario names, for resolution and errors."""
+    from repro.workload.fuzz.archive import archived_names
+
+    return archived_names()
+
+
 def _trace_dir_candidates(name: str) -> Tuple[Optional[str], List[str]]:
     """Paths ``$REPRO_TRACE_DIR`` could attach ``name`` to, in order.
 
@@ -537,6 +544,12 @@ def get_scenario(name: str, **overrides) -> Scenario:
     which container format (or import path — streamed or materialized)
     produced it.
 
+    Names under ``fuzz/`` resolve through the adversarial-scenario
+    archive (:mod:`repro.workload.fuzz.archive`): the scenario is
+    rebuilt from the archived knob vector and its fingerprint is
+    re-verified, so ``--scenario fuzz/<name>`` replays exactly the
+    stress workload the fuzzer archived.
+
     With ``REPRO_TRACE_DIR`` set, any other name is treated as a local
     archive attachment: ``<dir>/<name>`` with each container suffix (or
     as a shard directory) is tried in order, so imported archives become
@@ -549,9 +562,14 @@ def get_scenario(name: str, **overrides) -> Scenario:
     if name in _REGISTRY:
         builder, _ = _REGISTRY[name]
         return builder(**overrides)
+    if str(name).startswith("fuzz/"):
+        from repro.workload.fuzz.archive import load_archived_scenario
+
+        return load_archived_scenario(str(name), **overrides)
     if looks_like_trace_path(str(name)):
         return FixedTraceScenario.from_file(name, **overrides)
     trace_dir, candidates = _trace_dir_candidates(str(name))
+    fuzz_names = _fuzz_archive_names()
     if trace_dir is not None:
         for path in candidates:
             # A readable container only: a suffixed file, or a bare name
@@ -561,14 +579,15 @@ def get_scenario(name: str, **overrides) -> Scenario:
                 return FixedTraceScenario.from_file(path, **overrides)
         raise KeyError(
             f"unknown scenario {name!r}: not in the registry "
-            f"({sorted(_REGISTRY)}) and no trace container found under "
+            f"({sorted(_REGISTRY)}), not an archived fuzz scenario "
+            f"({fuzz_names}), and no trace container found under "
             f"{TRACE_DIR_ENV}={trace_dir!r} (tried "
-            f"{', '.join(os.path.basename(c) or c for c in candidates)})")
+            f"{', '.join(sorted(os.path.basename(c) or c for c in candidates))})")
     raise KeyError(
-        f"unknown scenario {name!r}; choose from {sorted(_REGISTRY)}, "
-        "pass a saved trace container (*.json[.gz], *.jsonl[.gz], or a "
-        f"shard directory), or set {TRACE_DIR_ENV} to attach names to "
-        "local trace archives")
+        f"unknown scenario {name!r}; choose from {sorted(_REGISTRY)} or the "
+        f"archived fuzz scenarios ({fuzz_names}), pass a saved trace "
+        "container (*.json[.gz], *.jsonl[.gz], or a shard directory), or "
+        f"set {TRACE_DIR_ENV} to attach names to local trace archives")
 
 
 # --- built-in entries -----------------------------------------------------

@@ -1,4 +1,19 @@
-"""Result persistence and aggregation."""
+"""Result persistence and aggregation for experiment rows.
+
+The interchange unit across the harness is the *row*: a flat dict of
+scalars, one table line or one series point. Experiments, sweeps, and
+the CLI's ``--out`` flags all produce rows; :class:`ResultStore` holds
+named collections of them and round-trips to a single JSON document
+(NumPy scalars coerced to plain Python, so artifacts never depend on
+NumPy's repr), and :func:`aggregate_rows` reduces repeated-seed rows
+into mean/std summary lines grouped on key columns — the step between
+raw per-trace results and the paper-style tables of
+:mod:`repro.harness.tables`.
+
+Row contents are deterministic given the inputs (no timestamps, no
+run-local state), which is what lets the CLI byte-compare ``--out``
+artifacts across worker counts, executor backends, and cache states.
+"""
 
 from __future__ import annotations
 

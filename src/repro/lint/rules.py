@@ -352,6 +352,7 @@ MANAGED_DIR_MARKERS = (
     ".repro-queue",
     ".repro-policies",
     ".repro-serve",
+    ".repro-fuzz",
     "CHECKPOINT.json",
     "STATS.json",
     "BATCH.json",

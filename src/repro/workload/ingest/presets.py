@@ -1,0 +1,343 @@
+"""Archive presets: one-flag ingestion of well-known public traces.
+
+A preset is a resolved-defaults table (the ``BLANKET_PARAMS`` idiom):
+naming one resolves *every* :class:`IngestConfig` field plus the archive
+format, columnar spec, and simulator platform capacities — and any
+individual field can still be overridden. Resolution precedence, lowest
+to highest:
+
+1. :class:`IngestConfig` built-in defaults,
+2. the preset's field table,
+3. programmatic field overrides (``fields=``),
+4. explicit CLI flags (``overrides=``).
+
+so ``repro.cli trace import --preset kit-fh2 log.swf.gz`` is a complete
+ingestion config, and ``--preset kit-fh2 --tick-seconds 30`` changes
+exactly one field.
+
+The module also carries the two archive-calibration fits that presets
+make reachable:
+
+* :func:`fit_arrival_process` — fit a
+  :class:`~repro.workload.arrivals.DiurnalArrivals` /
+  :class:`~repro.workload.arrivals.BurstyArrivals` /
+  :class:`~repro.workload.arrivals.PoissonArrivals` model to the
+  archive's arrival series (first-harmonic least squares at the diurnal
+  period when the trace spans one; two-state split by the index of
+  dispersion otherwise);
+* :func:`fit_family_sigmas` — per-family Amdahl serial fractions from
+  multi-width resubmissions (same user + same requested runtime run at
+  different widths), via least squares on ``t(p) = C(sigma + (1-sigma)/p)``.
+
+Both fits are deterministic closed-form reductions — no RNG — so a
+preset import is as reproducible as a plain one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+from repro.workload.ingest.normalize import IngestConfig
+from repro.workload.ingest.records import RawJobRecord
+
+__all__ = [
+    "ArchivePreset",
+    "ARCHIVE_PRESETS",
+    "preset_names",
+    "get_preset",
+    "resolve_ingest",
+    "fit_arrival_process",
+    "fit_family_sigmas",
+    "fitted_sigma_range",
+]
+
+_INGEST_FIELDS = {f.name for f in dataclasses.fields(IngestConfig)}
+
+#: Seconds per day — the period candidate for the diurnal fit.
+_DAY_SECONDS = 86400.0
+
+#: Index of dispersion (var/mean of per-bin counts) above which a
+#: Poisson model is rejected in favor of the two-state bursty fit.
+_DISPERSION_CUTOFF = 2.0
+
+#: Minimum relative first-harmonic amplitude for the diurnal fit to win.
+_MIN_AMPLITUDE = 0.15
+
+
+@dataclass(frozen=True)
+class ArchivePreset:
+    """Everything one ``--preset`` flag resolves for a public archive.
+
+    ``ingest`` holds only the fields that *differ* from the
+    :class:`IngestConfig` defaults; :func:`resolve_ingest` merges them.
+    ``spec`` names the columnar spec for ``format="columnar"`` presets
+    (``"google"``/``"alibaba"``, resolved by the CLI).
+    """
+
+    name: str
+    description: str
+    format: str                      # "swf" | "columnar"
+    ingest: Tuple[Tuple[str, object], ...] = ()
+    spec: Optional[str] = None
+    cpu_capacity: int = 24
+    gpu_capacity: int = 8
+    url: str = ""
+
+    def __post_init__(self) -> None:
+        if self.format not in ("swf", "columnar"):
+            raise ValueError(f"preset format must be swf|columnar, "
+                             f"got {self.format!r}")
+        unknown = sorted(k for k, _ in self.ingest if k not in _INGEST_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"preset {self.name!r} sets unknown IngestConfig "
+                f"fields {unknown}")
+
+    def ingest_defaults(self) -> Dict[str, object]:
+        return dict(self.ingest)
+
+
+ARCHIVE_PRESETS: Dict[str, ArchivePreset] = {
+    preset.name: preset
+    for preset in (
+        ArchivePreset(
+            name="kit-fh2",
+            description=("KIT ForHLR II (Parallel Workloads Archive SWF): "
+                         "CPU-only HPC cluster, completed jobs, wide rigid "
+                         "allocations clipped to the elastic model"),
+            format="swf",
+            ingest=(
+                ("tick_seconds", 120.0),
+                ("max_parallelism_cap", 16),
+                ("min_parallelism_frac", 0.5),
+                ("time_critical_fraction", 0.3),
+                ("accel_fraction", 0.0),
+                ("include_statuses", (1,)),
+            ),
+            cpu_capacity=48,
+            gpu_capacity=0,
+            url="https://www.cs.huji.ac.il/labs/parallel/workload/l_kit_fh2/",
+        ),
+        ArchivePreset(
+            name="sdsc-sp2",
+            description=("SDSC SP2 (Parallel Workloads Archive SWF): "
+                         "classic 128-node batch log with long service "
+                         "times; coarse ticks keep horizons tractable"),
+            format="swf",
+            ingest=(
+                ("tick_seconds", 300.0),
+                ("max_parallelism_cap", 8),
+                ("min_parallelism_frac", 0.25),
+                ("time_critical_fraction", 0.25),
+                ("accel_fraction", 0.0),
+                ("include_statuses", (1,)),
+            ),
+            cpu_capacity=32,
+            gpu_capacity=0,
+            url="https://www.cs.huji.ac.il/labs/parallel/workload/l_sdsc_sp2/",
+        ),
+        ArchivePreset(
+            name="google-2019",
+            description=("Google 2019 cluster sample (v3 trace export, "
+                         "columnar CSV): mixed services + batch with an "
+                         "accelerator-eligible share"),
+            format="columnar",
+            spec="google",
+            ingest=(
+                ("tick_seconds", 300.0),
+                ("max_parallelism_cap", 16),
+                ("time_critical_fraction", 0.5),
+                ("tc_tightness", (1.2, 2.0)),
+                ("accel_fraction", 0.35),
+                ("include_statuses", (1,)),
+            ),
+            cpu_capacity=48,
+            gpu_capacity=16,
+            url="https://github.com/google/cluster-data",
+        ),
+    )
+}
+
+
+def preset_names() -> List[str]:
+    """Sorted preset names (the ``--preset`` choices)."""
+    return sorted(ARCHIVE_PRESETS)
+
+
+def get_preset(name: str) -> ArchivePreset:
+    if name not in ARCHIVE_PRESETS:
+        raise KeyError(
+            f"unknown archive preset {name!r}; choose from {preset_names()}")
+    return ARCHIVE_PRESETS[name]
+
+
+def resolve_ingest(
+    preset: Optional[str] = None,
+    fields: Optional[Mapping[str, object]] = None,
+    overrides: Optional[Mapping[str, object]] = None,
+) -> IngestConfig:
+    """Resolve a full :class:`IngestConfig` through the precedence chain.
+
+    ``preset`` (lowest of the three explicit layers) names an
+    :data:`ARCHIVE_PRESETS` entry or is ``None`` for plain defaults;
+    ``fields`` are programmatic per-field defaults; ``overrides`` are
+    the caller's explicit choices (CLI flags). Unknown field names are a
+    :class:`ValueError`, not a silent drop.
+    """
+    merged: Dict[str, object] = {}
+    if preset is not None:
+        merged.update(get_preset(preset).ingest_defaults())
+    for layer_name, layer in (("fields", fields), ("overrides", overrides)):
+        if not layer:
+            continue
+        unknown = sorted(k for k in layer if k not in _INGEST_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown IngestConfig fields in {layer_name}: {unknown}")
+        merged.update(layer)
+    return IngestConfig(**merged)
+
+
+# --- arrival-series fitting -----------------------------------------------
+
+def _bin_counts(arrival_seconds: Sequence[float],
+                tick_seconds: float) -> np.ndarray:
+    times = np.asarray(sorted(float(t) for t in arrival_seconds))
+    times = times - times[0]
+    ticks = np.floor(times / tick_seconds).astype(int)
+    return np.bincount(ticks, minlength=int(ticks[-1]) + 1).astype(float)
+
+
+def fit_arrival_process(arrival_seconds: Sequence[float],
+                        tick_seconds: float) -> ArrivalProcess:
+    """Fit an arrival-process model to an archive's submit-time series.
+
+    Bins arrivals into simulator ticks, then picks the simplest model
+    the series supports:
+
+    * spans >= 2 diurnal periods with a first-harmonic relative
+      amplitude >= 0.15 -> :class:`DiurnalArrivals` (least-squares
+      sin/cos fit at the one-day period);
+    * over-dispersed (index of dispersion > 2) -> 2-state
+      :class:`BurstyArrivals` (above/below-median rate split, switch
+      probability from the mean run length of the state sequence);
+    * otherwise -> :class:`PoissonArrivals` at the mean rate.
+
+    Deterministic: a pure reduction of the series, no RNG.
+    """
+    if len(arrival_seconds) < 2:
+        raise ValueError("need at least two arrivals to fit a process")
+    if tick_seconds <= 0:
+        raise ValueError("tick_seconds must be positive")
+    counts = _bin_counts(arrival_seconds, tick_seconds)
+    mean = float(counts.mean())
+    if mean <= 0:
+        raise ValueError("arrival series has zero mean rate")
+
+    period_ticks = _DAY_SECONDS / tick_seconds
+    if len(counts) >= 2 * period_ticks and period_ticks >= 4:
+        t = np.arange(len(counts), dtype=float)
+        omega = 2.0 * np.pi * t / period_ticks
+        basis = np.column_stack([np.ones_like(t), np.sin(omega),
+                                 np.cos(omega)])
+        coef, *_ = np.linalg.lstsq(basis, counts, rcond=None)
+        base, a_sin, a_cos = (float(c) for c in coef)
+        amplitude = math.hypot(a_sin, a_cos) / max(base, 1e-12)
+        if amplitude >= _MIN_AMPLITUDE and base > 0:
+            # sin(x + 2*pi*phase) expansion matches DiurnalArrivals'
+            # rate law; atan2 recovers the phase of the fitted harmonic.
+            phase = math.atan2(a_cos, a_sin) / (2.0 * np.pi)
+            return DiurnalArrivals(
+                base_rate=round(base, 6),
+                amplitude=round(min(amplitude, 0.999999), 6),
+                period=int(round(period_ticks)),
+                phase=round(phase % 1.0, 6))
+
+    dispersion = float(counts.var() / mean)
+    if dispersion > _DISPERSION_CUTOFF:
+        median = float(np.median(counts))
+        high = counts > median
+        rate_high = float(counts[high].mean()) if high.any() else mean
+        rate_low = float(counts[~high].mean()) if (~high).any() else mean
+        if rate_low <= 0:
+            rate_low = min(mean, rate_high) * 0.1
+        if rate_high > rate_low:
+            # Mean run length of the above/below-median state sequence
+            # estimates the MMPP-2 sojourn time; its inverse is the
+            # per-tick switch probability.
+            flips = int(np.count_nonzero(high[1:] != high[:-1]))
+            mean_run = len(counts) / max(flips + 1, 1)
+            switch = min(max(1.0 / max(mean_run, 1.0), 1e-6), 1.0)
+            return BurstyArrivals(rate_low=round(rate_low, 6),
+                                  rate_high=round(rate_high, 6),
+                                  switch_prob=round(switch, 6))
+    return PoissonArrivals(rate=round(mean, 6))
+
+
+# --- per-family Amdahl sigma fitting --------------------------------------
+
+def fit_family_sigmas(records: Sequence[RawJobRecord],
+                      min_widths: int = 2) -> Dict[str, float]:
+    """Amdahl serial fractions from multi-width resubmission families.
+
+    A *family* is (user, requested runtime): the same user re-running
+    the same nominal job at different widths — the only case where an
+    archive directly exposes a scaling curve. For each family with
+    ``min_widths`` distinct widths, least-squares fit
+    ``t(p) = a + b/p`` over (width, mean runtime) pairs; then
+    ``sigma = a / (a + b)``, clipped to [0, 1]. Families whose runtimes
+    do not decrease with width fit ``sigma ~ 1`` — honestly reported as
+    unscalable rather than dropped.
+    """
+    groups: Dict[Tuple[int, float], Dict[int, List[float]]] = {}
+    for rec in records:
+        if not rec.usable() or rec.user < 0 or rec.requested_time <= 0:
+            continue
+        fam = (rec.user, float(rec.requested_time))
+        groups.setdefault(fam, {}).setdefault(rec.width(), []).append(
+            float(rec.run_time))
+    sigmas: Dict[str, float] = {}
+    for (user, req), by_width in sorted(groups.items()):
+        if len(by_width) < min_widths:
+            continue
+        widths = np.array(sorted(by_width), dtype=float)
+        runtimes = np.array([float(np.mean(by_width[int(w)]))
+                             for w in widths])
+        basis = np.column_stack([np.ones_like(widths), 1.0 / widths])
+        (a, b), *_ = np.linalg.lstsq(basis, runtimes, rcond=None)
+        denom = float(a + b)
+        if denom <= 0:
+            continue
+        sigma = min(max(float(a) / denom, 0.0), 1.0)
+        sigmas[f"u{user}/rt{req:g}"] = round(sigma, 6)
+    return sigmas
+
+
+def fitted_sigma_range(
+    records: Sequence[RawJobRecord],
+    default: Tuple[float, float] = (0.03, 0.30),
+) -> Tuple[float, float]:
+    """Narrow the ingest ``sigma_range`` to the archive's fitted sigmas.
+
+    The 10th..90th percentile of the per-family fits, falling back to
+    ``default`` when the archive exposes no multi-width families.
+    """
+    sigmas = sorted(fit_family_sigmas(records).values())
+    if not sigmas:
+        return default
+    lo = float(np.percentile(sigmas, 10.0))
+    hi = float(np.percentile(sigmas, 90.0))
+    if hi <= lo:
+        hi = min(lo + 1e-6, 1.0)
+    return (round(lo, 6), round(hi, 6))

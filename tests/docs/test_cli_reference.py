@@ -1,0 +1,95 @@
+"""docs/cli.md drift test: the reference must cover the real parser.
+
+Walks ``build_parser()`` and requires, for every leaf subcommand, a
+``## repro <command...>`` heading in docs/cli.md whose section mentions
+every long option and every positional of that command. New flags or
+commands therefore fail CI until the reference documents them.
+"""
+
+import argparse
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser
+
+DOC_PATH = pathlib.Path(__file__).resolve().parents[2] / "docs" / "cli.md"
+
+
+def iter_leaf_commands(parser, path=()):
+    """Yield (command path, long options, positionals) for leaf parsers."""
+    subs = [a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)]
+    if subs:
+        for sub in subs:
+            for name in sorted(sub.choices):
+                yield from iter_leaf_commands(sub.choices[name],
+                                              path + (name,))
+        return
+    options = sorted({
+        opt
+        for action in parser._actions
+        for opt in action.option_strings
+        if opt.startswith("--") and opt != "--help"
+    })
+    positionals = sorted(
+        action.dest
+        for action in parser._actions
+        if not action.option_strings
+    )
+    yield path, options, positionals
+
+
+def doc_sections():
+    """Heading -> section body, split on ``## `` headings."""
+    text = DOC_PATH.read_text(encoding="utf-8")
+    sections = {}
+    heading = None
+    body = []
+    for line in text.splitlines():
+        if line.startswith("## "):
+            if heading is not None:
+                sections[heading] = "\n".join(body)
+            heading = line[3:].strip()
+            body = []
+        else:
+            body.append(line)
+    if heading is not None:
+        sections[heading] = "\n".join(body)
+    return sections
+
+
+LEAVES = sorted(iter_leaf_commands(build_parser()))
+SECTIONS = doc_sections()
+
+
+def test_doc_exists():
+    assert DOC_PATH.is_file(), f"missing CLI reference at {DOC_PATH}"
+
+
+@pytest.mark.parametrize(
+    "path,options,positionals", LEAVES,
+    ids=[" ".join(path) for path, _, _ in LEAVES])
+def test_command_documented(path, options, positionals):
+    heading = "repro " + " ".join(path)
+    assert heading in SECTIONS, (
+        f"docs/cli.md lacks a `## {heading}` section; every subcommand "
+        "must be documented")
+    section = SECTIONS[heading]
+    missing = [opt for opt in options if opt not in section]
+    assert not missing, (
+        f"`## {heading}` does not mention flag(s) {missing}; document "
+        "them (the section text just has to contain the flag string)")
+    missing_pos = [f"<{dest}>" for dest in positionals
+                   if f"<{dest}>" not in section]
+    assert not missing_pos, (
+        f"`## {heading}` does not mention positional(s) {missing_pos}")
+
+
+def test_no_phantom_commands():
+    """Sections must not document commands the parser does not have."""
+    known = {"repro " + " ".join(path) for path, _, _ in LEAVES}
+    documented = {h for h in SECTIONS if h.startswith("repro ")}
+    phantom = documented - known
+    assert not phantom, (
+        f"docs/cli.md documents nonexistent command(s): {sorted(phantom)}")

@@ -1,0 +1,40 @@
+"""Dead-link scan: relative markdown links in the docs must resolve."""
+
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+#: Markdown files whose relative links the gate covers.
+DOC_FILES = sorted(
+    list(REPO.glob("*.md")) + list((REPO / "docs").glob("*.md")))
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def relative_links(path: pathlib.Path):
+    for match in _LINK.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=[
+    str(p.relative_to(REPO)) for p in DOC_FILES])
+def test_relative_links_resolve(doc):
+    broken = sorted({
+        target
+        for target in relative_links(doc)
+        if target and not (doc.parent / target).exists()
+    })
+    assert not broken, (
+        f"{doc.relative_to(REPO)} links to missing file(s): {broken}")
+
+
+def test_scan_found_docs():
+    names = {p.name for p in DOC_FILES}
+    assert {"README.md", "ARCHITECTURE.md", "ROADMAP.md", "cli.md",
+            "index.md", "scenarios.md"} <= names

@@ -1,0 +1,216 @@
+"""Archive presets: precedence exactness and the calibration fits."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+from repro.workload.ingest.normalize import IngestConfig
+from repro.workload.ingest.presets import (
+    ARCHIVE_PRESETS,
+    fit_arrival_process,
+    fit_family_sigmas,
+    fitted_sigma_range,
+    get_preset,
+    preset_names,
+    resolve_ingest,
+)
+from repro.workload.ingest.records import RawJobRecord
+
+
+class TestPresetTable:
+    def test_expected_presets_present(self):
+        assert preset_names() == ["google-2019", "kit-fh2", "sdsc-sp2"]
+
+    def test_unknown_preset_lists_choices(self):
+        with pytest.raises(KeyError, match="kit-fh2"):
+            get_preset("nonexistent")
+
+    @pytest.mark.parametrize("name", sorted(ARCHIVE_PRESETS))
+    def test_every_preset_resolves_to_a_valid_config(self, name):
+        config = resolve_ingest(name)
+        assert isinstance(config, IngestConfig)
+        preset = get_preset(name)
+        for field, value in preset.ingest_defaults().items():
+            assert getattr(config, field) == value
+
+    @pytest.mark.parametrize("name", sorted(ARCHIVE_PRESETS))
+    def test_preset_metadata(self, name):
+        preset = get_preset(name)
+        assert preset.description
+        assert preset.url
+        assert preset.cpu_capacity > 0
+        if preset.format == "columnar":
+            assert preset.spec in ("alibaba", "google")
+
+
+class TestPrecedence:
+    def test_preset_overrides_defaults(self):
+        assert resolve_ingest("kit-fh2").tick_seconds == 120.0
+        assert IngestConfig().tick_seconds != 120.0
+
+    def test_flag_overrides_preset_field_exactly(self):
+        """defaults < preset < fields < overrides, per field, exact."""
+        resolved = resolve_ingest(
+            "kit-fh2",
+            fields={"tick_seconds": 30.0},
+            overrides={"tick_seconds": 15.0, "seed": 7},
+        )
+        expected = dataclasses.replace(
+            resolve_ingest("kit-fh2"), tick_seconds=15.0, seed=7)
+        assert resolved == expected
+
+    def test_fields_layer_sits_between_preset_and_overrides(self):
+        resolved = resolve_ingest("sdsc-sp2",
+                                  fields={"tick_seconds": 30.0})
+        assert resolved.tick_seconds == 30.0
+        # Untouched preset fields survive the fields layer.
+        assert resolved.max_parallelism_cap == 8
+
+    def test_no_preset_is_plain_defaults(self):
+        assert resolve_ingest(None) == IngestConfig()
+        assert resolve_ingest(None, overrides={"seed": 3}) == \
+            dataclasses.replace(IngestConfig(), seed=3)
+
+    def test_unknown_field_raises_not_drops(self):
+        with pytest.raises(ValueError, match="typo_field"):
+            resolve_ingest("kit-fh2", overrides={"typo_field": 1})
+        with pytest.raises(ValueError, match="fields"):
+            resolve_ingest(None, fields={"nope": 1})
+
+
+class TestCliPrecedence:
+    """The CLI flag layer maps onto the overrides layer, per field."""
+
+    def _config(self, *argv):
+        from repro.cli import _ingest_config, build_parser
+
+        args = build_parser().parse_args(
+            ["trace", "import", "--input", "x.swf", "--out", "y.json",
+             *argv])
+        return _ingest_config(args)
+
+    def test_preset_alone_resolves_preset_fields(self):
+        assert self._config("--preset", "kit-fh2") == \
+            resolve_ingest("kit-fh2")
+
+    def test_typed_flag_beats_preset_field(self):
+        config = self._config("--preset", "kit-fh2",
+                              "--tick-seconds", "15", "--seed", "7")
+        assert config == dataclasses.replace(
+            resolve_ingest("kit-fh2"), tick_seconds=15.0, seed=7)
+
+    def test_untyped_flags_do_not_override(self):
+        """None-sentinel defaults: only typed flags reach the overrides."""
+        config = self._config("--preset", "sdsc-sp2")
+        assert config.max_parallelism_cap == 8      # preset value
+        assert config.time_critical_fraction == 0.25
+
+    def test_no_preset_gives_documented_defaults(self):
+        config = self._config("--format", "swf")
+        assert config == IngestConfig()
+
+
+class TestArrivalFit:
+    def test_poisson_recovered(self):
+        rng = np.random.default_rng(0)
+        tick = 60.0
+        times = np.cumsum(rng.exponential(tick / 3.0, size=4000))
+        fit = fit_arrival_process(times, tick)
+        assert isinstance(fit, PoissonArrivals)
+        assert fit.rate == pytest.approx(3.0, rel=0.1)
+
+    def test_diurnal_recovered(self):
+        rng = np.random.default_rng(1)
+        tick = 3600.0  # 24 ticks per day
+        n_ticks = 24 * 4  # four days
+        t = np.arange(n_ticks)
+        rate = 5.0 * (1.0 + 0.5 * np.sin(2 * np.pi * t / 24.0))
+        counts = rng.poisson(rate)
+        times = []
+        for i, c in enumerate(counts):
+            times.extend(i * tick + rng.uniform(0, tick, size=c))
+        fit = fit_arrival_process(sorted(times), tick)
+        assert isinstance(fit, DiurnalArrivals)
+        assert fit.period == 24
+        assert fit.amplitude == pytest.approx(0.5, abs=0.1)
+        assert fit.base_rate == pytest.approx(5.0, rel=0.1)
+
+    def test_bursty_recovered(self):
+        rng = np.random.default_rng(2)
+        tick = 60.0
+        # Two-state modulated Poisson, runs of ~13 ticks per state.
+        counts, high = [], False
+        for _ in range(3000):
+            if rng.random() < 0.075:
+                high = not high
+            counts.append(rng.poisson(12.0 if high else 2.0))
+        times = []
+        for i, c in enumerate(counts):
+            times.extend(i * tick + rng.uniform(0, tick, size=c))
+        fit = fit_arrival_process(sorted(times), tick)
+        assert isinstance(fit, BurstyArrivals)
+        assert fit.rate_high > fit.rate_low
+        assert 0.0 < fit.switch_prob <= 1.0
+
+    def test_fit_is_deterministic(self):
+        times = [10.0 * i + (i % 7) for i in range(500)]
+        a = fit_arrival_process(times, 60.0)
+        b = fit_arrival_process(list(reversed(times)), 60.0)
+        assert a == b
+
+    def test_degenerate_series_rejected(self):
+        with pytest.raises(ValueError):
+            fit_arrival_process([1.0], 60.0)
+        with pytest.raises(ValueError):
+            fit_arrival_process([1.0, 2.0], 0.0)
+
+
+def _family_records(sigma, widths, base=1000.0, user=3, req=7200.0,
+                    start_id=0):
+    """Resubmissions of one nominal job at several widths, exact Amdahl."""
+    return [
+        RawJobRecord(job_id=start_id + i, submit_time=60.0 * i,
+                     run_time=base * (sigma + (1.0 - sigma) / w),
+                     processors=w, requested_time=req, status=1, user=user)
+        for i, w in enumerate(widths)
+    ]
+
+
+class TestSigmaFit:
+    def test_recovers_planted_sigma(self):
+        records = _family_records(0.2, [1, 2, 4, 8, 16])
+        sigmas = fit_family_sigmas(records)
+        assert list(sigmas) == ["u3/rt7200"]
+        assert sigmas["u3/rt7200"] == pytest.approx(0.2, abs=1e-6)
+
+    def test_single_width_families_skipped(self):
+        records = _family_records(0.2, [4, 4, 4])
+        assert fit_family_sigmas(records) == {}
+
+    def test_unscalable_family_clips_to_one(self):
+        # Runtime *grows* with width -> sigma clipped into [0, 1].
+        records = [
+            RawJobRecord(job_id=i, submit_time=0.0, run_time=100.0 * w,
+                         processors=w, requested_time=60.0, status=1, user=1)
+            for i, w in enumerate([1, 2, 4])
+        ]
+        (sigma,) = fit_family_sigmas(records).values()
+        assert 0.0 <= sigma <= 1.0
+
+    def test_fitted_sigma_range_default_when_no_families(self):
+        assert fitted_sigma_range([]) == (0.03, 0.30)
+        assert fitted_sigma_range([], default=(0.1, 0.2)) == (0.1, 0.2)
+
+    def test_fitted_sigma_range_percentiles(self):
+        records = []
+        for i, sigma in enumerate([0.1, 0.2, 0.3]):
+            records.extend(_family_records(
+                sigma, [1, 2, 4, 8], user=i, start_id=100 * i))
+        lo, hi = fitted_sigma_range(records)
+        assert 0.1 <= lo < hi <= 0.3
